@@ -1,0 +1,60 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (Section 9).  The sweeps run the discrete-event simulation with
+reduced measurement windows and a compressed replica-count axis so the whole
+harness finishes in a few minutes; set ``REPRO_BENCH_MEASURE_MS`` /
+``REPRO_BENCH_REPLICAS`` to trade time for smoother curves.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import SystemKind, WorkloadName  # noqa: E402
+from repro.cluster.sweeps import ReplicaSweep, run_replica_sweep  # noqa: E402
+
+#: Measurement window per experiment point (simulated milliseconds).
+MEASURE_MS = float(os.environ.get("REPRO_BENCH_MEASURE_MS", "1500"))
+WARMUP_MS = float(os.environ.get("REPRO_BENCH_WARMUP_MS", "400"))
+
+#: Replica counts on the x axis (the paper uses 1..15).
+REPLICA_COUNTS = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_REPLICAS", "1,4,8,15").split(",")
+)
+
+#: The four curves of the throughput/response figures.
+FIGURE_SYSTEMS = (
+    SystemKind.BASE,
+    SystemKind.TASHKENT_MW,
+    SystemKind.TASHKENT_API,
+    SystemKind.TASHKENT_API_NO_CERT,
+)
+
+
+@lru_cache(maxsize=None)
+def cached_sweep(workload: WorkloadName, dedicated_io: bool,
+                 forced_abort_rate: float = 0.0,
+                 systems: tuple[SystemKind, ...] = FIGURE_SYSTEMS,
+                 replica_counts: tuple[int, ...] = REPLICA_COUNTS) -> ReplicaSweep:
+    """Run (once) and cache the sweep shared by a figure's benchmarks."""
+    return run_replica_sweep(
+        workload,
+        systems=systems,
+        replica_counts=replica_counts,
+        dedicated_io=dedicated_io,
+        forced_abort_rate=forced_abort_rate,
+        warmup_ms=WARMUP_MS,
+        measure_ms=MEASURE_MS,
+    )
+
+
+def largest_replica_count() -> int:
+    return max(REPLICA_COUNTS)

@@ -1,0 +1,49 @@
+"""Figures 6 and 7: AllUpdates throughput and response time, dedicated IO.
+
+With the database in ramdisk the logging channel is dedicated; all curves
+move up slightly (AllUpdates runs essentially from memory, so the effect is
+minor) and the relative behaviour is unchanged: Tashkent-MW ≈ 5.0x and
+Tashkent-API ≈ 3.2x Base at 15 replicas.  Figure 7's signature detail is
+Base's response time stepping from ~90 ms at one replica to ~180 ms at two.
+"""
+
+from conftest import cached_sweep, largest_replica_count
+
+from repro.analysis.report import render_figure
+from repro.analysis.results import summarize_sweep
+from repro.core.config import SystemKind, WorkloadName
+
+
+def _sweep():
+    return cached_sweep(WorkloadName.ALL_UPDATES, dedicated_io=True)
+
+
+def test_fig06_allupdates_dedicated_throughput(benchmark):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, metric="throughput",
+                        title="Figure 6: AllUpdates throughput (dedicated IO)"))
+    summary = summarize_sweep(sweep, num_replicas=largest_replica_count())
+    print(f"speedups over Base: MW {summary.mw_speedup:.1f}x (paper ~5.0x), "
+          f"API {summary.api_speedup:.1f}x (paper ~3.2x)")
+    assert summary.mw_speedup > 3.5
+    assert summary.api_speedup > 2.0
+    # Dedicated IO never hurts relative to shared IO for the same system.
+    shared = cached_sweep(WorkloadName.ALL_UPDATES, dedicated_io=False)
+    for system in (SystemKind.BASE, SystemKind.TASHKENT_API):
+        assert sweep.max_throughput(system) >= 0.9 * shared.max_throughput(system)
+
+
+def test_fig07_allupdates_dedicated_response_time(benchmark):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, metric="response",
+                        title="Figure 7: AllUpdates response time (dedicated IO)"))
+    base = dict(sweep.response_series(SystemKind.BASE))
+    # ~90 ms at one replica (10 clients x one fsync each), roughly doubling
+    # once the grouped remote writesets add a second fsync per commit.
+    assert 60 <= base[1] <= 130
+    largest = largest_replica_count()
+    assert base[largest] > 1.6 * base[1]
+    mw = dict(sweep.response_series(SystemKind.TASHKENT_MW))
+    assert mw[largest] < 0.5 * base[largest]

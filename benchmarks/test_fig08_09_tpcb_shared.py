@@ -1,0 +1,48 @@
+"""Figures 8 and 9: TPC-B throughput and response time, shared IO.
+
+Paper reference: the ordering Tashkent-MW > tashAPInoCERT > Tashkent-API >
+Base, with Tashkent-MW ≈ 2.6x and Tashkent-API ≈ 1.3x Base at 15 replicas.
+TPC-B has real reads, genuine write-write conflicts, and — unlike
+AllUpdates — artificial conflicts among remote writesets that force
+Tashkent-API to serialise some commits.
+"""
+
+from conftest import cached_sweep, largest_replica_count
+
+from repro.analysis.report import render_figure
+from repro.analysis.results import summarize_sweep
+from repro.core.config import SystemKind, WorkloadName
+
+
+def _sweep():
+    return cached_sweep(WorkloadName.TPC_B, dedicated_io=False)
+
+
+def test_fig08_tpcb_shared_throughput(benchmark):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, metric="throughput",
+                        title="Figure 8: TPC-B throughput (shared IO)"))
+    summary = summarize_sweep(sweep, num_replicas=largest_replica_count())
+    print(f"speedups over Base: MW {summary.mw_speedup:.1f}x (paper ~2.6x), "
+          f"API {summary.api_speedup:.1f}x (paper ~1.3x)")
+    # Ordering of the curves matches the paper; exact factors depend on the
+    # conflict profile (see EXPERIMENTS.md for the deviation discussion).
+    assert summary.mw_speedup > 1.8
+    assert summary.api_speedup > 1.1
+    assert summary.tashkent_mw_tps > summary.tashkent_api_tps > summary.base_tps
+
+
+def test_fig09_tpcb_shared_response_time(benchmark):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, metric="response",
+                        title="Figure 9: TPC-B response time (shared IO)"))
+    n = largest_replica_count()
+    base = dict(sweep.response_series(SystemKind.BASE))
+    mw = dict(sweep.response_series(SystemKind.TASHKENT_MW))
+    api = dict(sweep.response_series(SystemKind.TASHKENT_API))
+    assert mw[n] < api[n] < base[n]
+    # Response times rise steadily with the replica count (writeset apply cost).
+    mw_series = [value for _, value in sweep.response_series(SystemKind.TASHKENT_MW)]
+    assert mw_series[-1] >= mw_series[0]

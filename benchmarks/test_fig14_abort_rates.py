@@ -1,0 +1,65 @@
+"""Figure 14: certifier goodput under forced abort rates (dedicated IO).
+
+The certifier randomly aborts 0% / 20% / 40% of requests *after* the full
+certification check (so all computational overhead is still paid).  The
+paper's point: even under exaggerated abort rates the Tashkent systems keep
+a large goodput advantage over Base.
+"""
+
+from functools import lru_cache
+
+from conftest import MEASURE_MS, WARMUP_MS, largest_replica_count
+
+from repro.analysis.report import format_table
+from repro.cluster.experiment import ExperimentConfig, run_experiment
+from repro.core.config import SystemKind, WorkloadName
+
+ABORT_RATES = (0.0, 0.2, 0.4)
+SYSTEMS = (SystemKind.BASE, SystemKind.TASHKENT_API, SystemKind.TASHKENT_MW)
+
+
+@lru_cache(maxsize=None)
+def _goodput_grid():
+    replicas = largest_replica_count()
+    grid = {}
+    for system in SYSTEMS:
+        for rate in ABORT_RATES:
+            result = run_experiment(ExperimentConfig(
+                system=system,
+                workload=WorkloadName.ALL_UPDATES,
+                num_replicas=replicas,
+                dedicated_io=True,
+                forced_abort_rate=rate,
+                warmup_ms=WARMUP_MS,
+                measure_ms=MEASURE_MS,
+            ))
+            grid[(system, rate)] = result
+    return grid
+
+
+def test_fig14_goodput_under_forced_abort_rates(benchmark):
+    grid = benchmark.pedantic(_goodput_grid, rounds=1, iterations=1)
+    rows = []
+    for system in SYSTEMS:
+        row = {"system": system.value}
+        for rate in ABORT_RATES:
+            result = grid[(system, rate)]
+            row[f"goodput@{int(rate * 100)}%"] = round(result.goodput_tps, 1)
+        rows.append(row)
+    print()
+    print("Figure 14: certifier goodput under forced abort rates (dedicated IO, "
+          f"{largest_replica_count()} replicas)")
+    print(format_table(["system"] + [f"goodput@{int(r * 100)}%" for r in ABORT_RATES], rows))
+
+    # Goodput decreases as the forced abort rate rises...
+    for system in SYSTEMS:
+        goodputs = [grid[(system, rate)].goodput_tps for rate in ABORT_RATES]
+        assert goodputs[0] > goodputs[1] > goodputs[2]
+    # ...and the observed abort rates track the injected ones.
+    for system in SYSTEMS:
+        assert abs(grid[(system, 0.4)].abort_rate - 0.4) < 0.1
+    # Even at 40% forced aborts both Tashkent systems stay well above Base.
+    for rate in ABORT_RATES:
+        base = grid[(SystemKind.BASE, rate)].goodput_tps
+        assert grid[(SystemKind.TASHKENT_MW, rate)].goodput_tps > 2.0 * base
+        assert grid[(SystemKind.TASHKENT_API, rate)].goodput_tps > 1.5 * base

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""An online bookstore (TPC-W style) on a replicated Tashkent-API cluster.
+
+Runs the shopping-mix workload — mostly browsing, 20% order placement —
+through the functional TPC-W workload against real engine-backed replicas
+using the extended ``COMMIT <version>`` API, then prints what the store sold
+and verifies that every replica agrees.
+
+Run with:  python examples/online_bookstore.py
+"""
+
+from repro import build_tashkent_api_system
+from repro.errors import TransactionAborted
+from repro.sim.rng import RandomStreams
+from repro.workloads import TPCWWorkload
+
+NUM_REPLICAS = 3
+INTERACTIONS = 80
+
+
+def main() -> None:
+    workload = TPCWWorkload(num_replicas=NUM_REPLICAS)
+    system = build_tashkent_api_system(num_replicas=NUM_REPLICAS)
+    system.create_tables_from_schemas(workload.schemas())
+    system.load_initial_data(workload.setup)
+
+    rng = RandomStreams(1996)  # TPC-W's publication year
+    committed = aborted = 0
+    for i in range(INTERACTIONS):
+        session = system.session(i % NUM_REPLICAS, client_name=f"browser-{i % 10}")
+        try:
+            if workload.run_transaction(session, rng, client_index=i % 10, sequence=i):
+                committed += 1
+            else:
+                aborted += 1
+        except TransactionAborted:
+            aborted += 1
+
+    session = system.session(0, client_name="reporting")
+    session.begin()
+    orders = session.scan("orders")
+    lines = session.scan("order_line")
+    revenue = sum(row["total"] for _, row in orders)
+    session.commit()
+
+    fsyncs = system.total_fsyncs()
+    print(f"bookstore on {NUM_REPLICAS} replicas (Tashkent-API), "
+          f"{INTERACTIONS} shopping-mix interactions")
+    print(f"  committed: {committed}, aborted: {aborted}")
+    print(f"  orders placed: {len(orders)} ({len(lines)} order lines), "
+          f"revenue: {revenue}")
+    print(f"  replicas consistent: {system.replicas_consistent()}")
+    print(f"  synchronous writes — replicas: {fsyncs['replicas']}, "
+          f"certifier: {fsyncs['certifier']}")
+    print(f"  certifier version: {system.certifier.system_version} "
+          f"(one per committed update transaction)")
+    print()
+    print("At this low update rate the grouped ordered commits barely matter —")
+    print("exactly the paper's Figure 12 observation that Tashkent-API matches")
+    print("Base when updates are rare.")
+
+
+if __name__ == "__main__":
+    main()

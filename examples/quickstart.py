@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: a 3-replica Tashkent-MW cluster in a few lines.
+
+Builds a replicated snapshot-isolation database, loads a tiny table, runs
+update transactions through different replicas, and shows the core claim of
+the paper in miniature: with durability united with ordering in the
+middleware, the replicas never perform a synchronous commit write, yet no
+committed update is ever lost (the certifier's log is the durable copy).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import build_base_system, build_tashkent_mw_system
+
+
+def load_inventory(session) -> None:
+    """Initial data, loaded through one replica and replicated to the rest."""
+    session.begin()
+    for item_id, (name, stock) in enumerate(
+        [("keyboard", 25), ("mouse", 40), ("monitor", 12), ("dock", 7)]
+    ):
+        session.insert("inventory", item_id, id=item_id, name=name, stock=stock)
+    outcome = session.commit()
+    assert outcome.committed
+
+
+def run_workload(system, label: str) -> None:
+    """Ship one unit of every item, each order through a different replica."""
+    for order, item_id in enumerate([0, 1, 2, 3, 0, 1]):
+        session = system.session(order % len(system.replicas), client_name=f"client-{order}")
+        session.begin()
+        row = session.read("inventory", item_id)
+        session.update("inventory", item_id, stock=row["stock"] - 1)
+        outcome = session.commit()
+        print(f"  [{label}] order {order} on replica {order % len(system.replicas)}: "
+              f"{'committed' if outcome.committed else 'aborted'} "
+              f"(global version {outcome.commit_version})")
+
+    fsyncs = system.total_fsyncs()
+    print(f"  [{label}] replicas consistent: {system.replicas_consistent()}")
+    print(f"  [{label}] synchronous writes — replicas: {fsyncs['replicas']}, "
+          f"certifier: {fsyncs['certifier']}")
+    print(f"  [{label}] certifier writesets per fsync: "
+          f"{system.certifier.writesets_per_fsync:.1f}")
+
+
+def main() -> None:
+    print("Tashkent-MW: durability united with ordering in the middleware")
+    mw = build_tashkent_mw_system(num_replicas=3)
+    mw.create_table("inventory", ["id", "name", "stock"])
+    mw.load_initial_data(load_inventory)
+    run_workload(mw, "tashkent-mw")
+
+    print()
+    print("Base: ordering in the middleware, durability in the database")
+    base = build_base_system(num_replicas=3)
+    base.create_table("inventory", ["id", "name", "stock"])
+    base.load_initial_data(load_inventory)
+    run_workload(base, "base")
+
+    print()
+    print("Note how Base pays synchronous writes at every replica for every")
+    print("commit (serially!), while Tashkent-MW replicas commit in memory and")
+    print("the certifier groups all writesets into far fewer disk writes.")
+
+
+if __name__ == "__main__":
+    main()

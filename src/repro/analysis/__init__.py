@@ -1,0 +1,13 @@
+"""Result tables and paper-versus-measured reporting."""
+
+from repro.analysis.results import ResultTable, SpeedupSummary, summarize_sweep
+from repro.analysis.report import format_series, format_table, render_figure
+
+__all__ = [
+    "ResultTable",
+    "SpeedupSummary",
+    "format_series",
+    "format_table",
+    "render_figure",
+    "summarize_sweep",
+]

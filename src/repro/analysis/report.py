@@ -1,0 +1,75 @@
+"""Plain-text rendering of figures and tables.
+
+The benchmark harness prints each figure as the series the paper plots
+(replica count on the x axis, one column per system).  Nothing here needs a
+plotting library: the goal is rows that can be eyeballed against the paper
+and archived in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.config import SystemKind
+from repro.cluster.sweeps import ReplicaSweep
+
+#: Display names matching the paper's figure legends.
+SYSTEM_LABELS = {
+    SystemKind.STANDALONE: "standalone",
+    SystemKind.BASE: "base",
+    SystemKind.TASHKENT_MW: "tashMW",
+    SystemKind.TASHKENT_API: "tashAPI",
+    SystemKind.TASHKENT_API_NO_CERT: "tashAPInoCERT",
+}
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Mapping[str, object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = [dict(row) for row in rows]
+    widths = {column: len(column) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(series: Iterable[tuple[int, float]], *, unit: str = "") -> str:
+    """Render one curve as ``replicas -> value`` pairs."""
+    parts = [f"{replicas}:{value:.1f}{unit}" for replicas, value in series]
+    return "  ".join(parts)
+
+
+def render_figure(sweep: ReplicaSweep, *, metric: str = "throughput",
+                  title: str = "") -> str:
+    """Render one paper figure (throughput or response time vs replicas)."""
+    systems = []
+    for system in SYSTEM_LABELS:
+        if sweep.curve(system):
+            systems.append(system)
+    replica_counts = sorted({p.num_replicas for p in sweep.points})
+    columns = ["replicas"] + [SYSTEM_LABELS[system] for system in systems]
+    rows = []
+    for count in replica_counts:
+        row: dict[str, object] = {"replicas": count}
+        for system in systems:
+            for point in sweep.curve(system):
+                if point.num_replicas == count:
+                    if metric == "throughput":
+                        row[SYSTEM_LABELS[system]] = round(point.throughput_tps, 1)
+                    else:
+                        row[SYSTEM_LABELS[system]] = round(point.mean_response_ms, 1)
+                    break
+        rows.append(row)
+    body = format_table(columns, rows)
+    heading = title or (
+        f"{sweep.workload.value} — {'throughput (tps)' if metric == 'throughput' else 'response time (ms)'}"
+        f" — {'dedicated' if sweep.dedicated_io else 'shared'} IO"
+    )
+    return f"{heading}\n{body}"

@@ -1,0 +1,47 @@
+"""The Base system model.
+
+Ordering is decided by the certifier, durability stays in the database, and
+— because an off-the-shelf database offers no way to dictate a commit order —
+the proxy must submit commits *serially*: the grouped remote writesets commit
+first (one synchronous write), then the local transaction (a second
+synchronous write).  That serialisation is the scalability bottleneck the
+paper identifies: roughly ``1 / (2 × fsync)`` local commits per second per
+replica once remote writesets start flowing.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.models import SystemModel
+from repro.cluster.nodes import SimReplicaNode
+from repro.workloads.spec import TransactionProfile
+
+
+class BaseModel(SystemModel):
+    """Ordering in the middleware, durability in the database, serial commits."""
+
+    def commit_update(self, replica: SimReplicaNode, profile: TransactionProfile,
+                      tx_start_version: int) -> Generator:
+        result = yield from self._certify(replica, profile, tx_start_version)
+
+        # Steps [C4] and [C5] are serialised at the replica: the proxy waits
+        # for each database acknowledgement before sending the next command.
+        yield replica.commit_lock.request()
+        try:
+            pending = replica.claim_remote(result.remote_writesets)
+            if pending:
+                # One transaction containing all grouped remote writesets:
+                # CPU to apply the updates, then its own synchronous commit.
+                yield from self._apply_remote_cpu(replica, len(pending))
+                yield from replica.disk.fsync()
+            if result.committed:
+                # The local transaction's commit record: a second fsync.
+                yield from replica.disk.fsync()
+                replica.observe_commit(result.tx_commit_version)
+        finally:
+            replica.commit_lock.release()
+
+        if result.committed:
+            return True, None
+        return False, "forced-abort" if result.forced_abort else "certification"

@@ -1,0 +1,277 @@
+"""Simulated certifier and replica nodes.
+
+A node bundles the devices of one machine in the paper's cluster (one CPU,
+one disk, a NIC) with the protocol state that lives on that machine.  The
+*control flow* of the protocol is expressed by the system models in the
+sibling modules; nodes only provide reusable process fragments such as
+"certify this request" or "flush these commit records with group commit".
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.certification import CertificationRequest, CertificationResult, Certifier
+from repro.core.config import ReplicationConfig
+from repro.core.group_commit import GroupCommitStats
+from repro.sim.devices import CpuServer, DiskChannel, NetworkLink
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.workloads.spec import WorkloadSpec
+
+
+class SimCertifierNode:
+    """The certifier: certification CPU, a log disk, and a log-writer process.
+
+    The log writer is the single thread the paper describes: it takes
+    *everything* pending, performs one fsync, and only then releases the
+    commit decisions of that batch.  Under load the batch grows and the
+    writesets-per-fsync ratio rises — this is the mechanism behind
+    Tashkent-MW's scalability.
+    """
+
+    #: CPU cost of one certification check (writeset intersection is "a fast
+    #: main memory operation", an order of magnitude below execution cost).
+    certify_cpu_ms = 0.05
+
+    def __init__(
+        self,
+        env: Environment,
+        config: ReplicationConfig,
+        rng: RandomStreams,
+        *,
+        durability_enabled: bool,
+        name: str = "certifier",
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        self.durability_enabled = durability_enabled
+        self.cpu = CpuServer(env, name=f"{name}-cpu")
+        # The certifier's log disk is its own device; it never competes with
+        # database page IO, so no interference term.
+        self.disk = DiskChannel(env, config.disk, rng, name=f"{name}-disk")
+        self.network = NetworkLink(env, config.network, rng, name=f"{name}-lan")
+        self.certifier = Certifier(
+            forced_abort_rate=config.forced_abort_rate,
+            abort_chooser=rng.stream("forced-abort").random,
+        )
+        self._flush_queue: Store = Store(env, name=f"{name}-flush-queue")
+        self.batch_stats = GroupCommitStats()
+        env.process(self._log_writer(), name=f"{name}-log-writer")
+
+    # -- protocol fragments ------------------------------------------------------
+
+    def certify(self, request: CertificationRequest) -> Generator:
+        """Process fragment: full certification round trip (request on wire →
+        certification → durable log record → response on wire).
+
+        Returns the :class:`CertificationResult`.
+        """
+        yield self.network.transfer(request.request_size_bytes())
+        yield from self.cpu.execute(self.certify_cpu_ms)
+        result = self.certifier.certify(request)
+        if result.committed and result.tx_commit_version is not None:
+            if self.durability_enabled:
+                durable: Event = self.env.event()
+                self._flush_queue.put((result.tx_commit_version, durable))
+                yield durable
+            else:
+                # tashAPInoCERT: the decision is released without waiting for
+                # the log write (the log still exists, it is just off the
+                # critical path and flushed lazily by the writer below).
+                self._flush_queue.put((result.tx_commit_version, None))
+        yield self.network.transfer(result.response_size_bytes())
+        return result
+
+    def fetch_remote(self, replica_version: int, check_back_to: int | None = None) -> Generator:
+        """Process fragment: a bounded-staleness pull of remote writesets."""
+        yield self.network.transfer(32)
+        yield from self.cpu.execute(self.certify_cpu_ms)
+        remote = self.certifier.fetch_remote_writesets(replica_version, check_back_to)
+        size = 32 + sum(info.size_bytes() for info in remote)
+        yield self.network.transfer(size)
+        return remote
+
+    # -- the single log-writer thread -----------------------------------------------
+
+    def _log_writer(self) -> Generator:
+        while True:
+            first = yield self._flush_queue.get()
+            batch = [first] + self._flush_queue.get_all()
+            yield from self.disk.fsync()
+            self.batch_stats.record_flush(len(batch))
+            max_version = max(version for version, _ in batch)
+            if max_version > self.certifier.log.durable_version:
+                self.certifier.log.mark_durable(max_version)
+            for _version, durable in batch:
+                if durable is not None:
+                    durable.succeed()
+
+    # -- statistics -----------------------------------------------------------------------
+
+    @property
+    def writesets_per_fsync(self) -> float:
+        return self.batch_stats.average_batch_size
+
+    @property
+    def fsync_count(self) -> int:
+        return self.disk.fsync_count
+
+    def stats(self) -> dict[str, float]:
+        stats = {f"certifier_{k}": v for k, v in self.certifier.stats().items()}
+        stats.update(
+            {
+                "certifier_fsyncs": float(self.fsync_count),
+                "certifier_writesets_per_fsync": self.writesets_per_fsync,
+                "certifier_disk_utilization": self.disk.utilization(),
+                "certifier_cpu_utilization": self.cpu.utilization(),
+            }
+        )
+        return stats
+
+
+class SimReplicaNode:
+    """One replica machine: CPU, disk, the proxy's version watermark, and a
+    database log-writer used by the group-commit (ordered) configurations."""
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        config: ReplicationConfig,
+        workload: WorkloadSpec,
+        rng: RandomStreams,
+        *,
+        ordered_flush_overhead_factor: float = 1.0,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.name = f"replica-{index}"
+        self.config = config
+        self.workload = workload
+        self.cpu = CpuServer(env, name=f"{self.name}-cpu")
+        self.disk = DiskChannel(
+            env,
+            config.disk,
+            rng,
+            name=f"{self.name}-disk",
+            page_io_interference_ms=workload.page_io_interference_ms,
+        )
+        #: Serialises the proxy's [C4]/[C5] steps (Base and Tashkent-MW).
+        self.commit_lock = Resource(env, capacity=1, name=f"{self.name}-commit-lock")
+        #: The replica's GSI version watermark (the proxy's replica_version).
+        self.replica_version = 0
+        #: Multiplier on the WAL flush time of ordered (grouped) commits.
+        #: Models the larger WAL volume PostgreSQL writes per flush when
+        #: every remote writeset commits as its own transaction with
+        #: before/after page images — the effect the paper cites to explain
+        #: the residual Tashkent-MW vs Tashkent-API gap (Section 9.2).
+        self.ordered_flush_overhead_factor = ordered_flush_overhead_factor
+        self._commit_queue: Store = Store(env, name=f"{self.name}-commit-queue")
+        self.group_commit_stats = GroupCommitStats()
+        # Ordered-commit announcement state (Tashkent-API): commit records may
+        # be flushed in any order, but effects become visible strictly in
+        # global version order (the paper's semaphore, Section 8.3).
+        self.announced_version = 0
+        self._durable_versions: set[int] = set()
+        self._announce_waiters: list[tuple[int, Event]] = []
+        env.process(self._db_log_writer(), name=f"{self.name}-log-writer")
+
+    # -- version bookkeeping -------------------------------------------------------
+
+    def claim_remote(self, remote_infos) -> list:
+        """Filter remote writesets to those not yet applied and claim them.
+
+        Claiming advances the watermark immediately so that concurrent local
+        commits at the same replica do not double-apply (and double-charge
+        the CPU for) the same remote writesets.
+        """
+        pending = [
+            info for info in remote_infos if info.commit_version > self.replica_version
+        ]
+        if pending:
+            self.replica_version = max(info.commit_version for info in pending)
+        return pending
+
+    def observe_commit(self, commit_version: int) -> None:
+        if commit_version > self.replica_version:
+            self.replica_version = commit_version
+
+    # -- ordered announcement (COMMIT <version> semantics) -------------------------
+
+    def mark_durable_versions(self, versions) -> None:
+        """Record that the commit records for ``versions`` are on disk here.
+
+        Announcements then advance through every contiguous durable version,
+        waking any commit waiting for its turn.
+        """
+        for version in versions:
+            if version > self.announced_version:
+                self._durable_versions.add(version)
+        advanced = False
+        while (self.announced_version + 1) in self._durable_versions:
+            self._durable_versions.discard(self.announced_version + 1)
+            self.announced_version += 1
+            advanced = True
+        if advanced and self._announce_waiters:
+            still_waiting: list[tuple[int, Event]] = []
+            for version, event in self._announce_waiters:
+                if version <= self.announced_version:
+                    event.succeed(version)
+                else:
+                    still_waiting.append((version, event))
+            self._announce_waiters = still_waiting
+
+    def wait_for_announcement(self, version: int) -> Event:
+        """Event that triggers once ``version`` has been announced here."""
+        event = self.env.event()
+        if version <= self.announced_version:
+            event.succeed(version)
+        else:
+            self._announce_waiters.append((version, event))
+        return event
+
+    # -- group commit (standalone + Tashkent-API databases) ------------------------------
+
+    def submit_commit_records(self, record_count: int) -> Event:
+        """Queue ``record_count`` commit records for the next WAL flush.
+
+        Returns the event that triggers once those records are durable (the
+        flush completed).  Many concurrent submissions share one flush.
+        """
+        done = self.env.event()
+        self._commit_queue.put((record_count, done))
+        return done
+
+    def _db_log_writer(self) -> Generator:
+        while True:
+            first = yield self._commit_queue.get()
+            batch = [first] + self._commit_queue.get_all()
+            records = sum(count for count, _ in batch)
+            service = yield from self.disk.fsync()
+            if self.ordered_flush_overhead_factor > 1.0:
+                yield self.env.timeout(service * (self.ordered_flush_overhead_factor - 1.0))
+            self.group_commit_stats.record_flush(records)
+            for _count, done in batch:
+                done.succeed()
+
+    # -- statistics ------------------------------------------------------------------------
+
+    @property
+    def fsync_count(self) -> int:
+        return self.disk.fsync_count
+
+    @property
+    def records_per_fsync(self) -> float:
+        return self.group_commit_stats.average_batch_size
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "cpu_utilization": self.cpu.utilization(),
+            "disk_utilization": self.disk.utilization(),
+            "fsyncs": float(self.fsync_count),
+            "records_per_fsync": self.records_per_fsync,
+            "replica_version": float(self.replica_version),
+        }

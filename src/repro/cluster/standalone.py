@@ -1,0 +1,32 @@
+"""The standalone (non-replicated) SI database model.
+
+The reference point of the evaluation: "the functions of ordering the
+transaction commits and making the effects of transactions durable are
+performed in one single action, namely the writing of the commit record to
+disk.  For efficiency many of these writes are grouped into a single disk
+operation."  Throughput is therefore limited by group commit on the single
+WAL channel, not by serial fsyncs.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.models import SystemModel
+from repro.cluster.nodes import SimReplicaNode
+from repro.workloads.spec import TransactionProfile
+
+
+class StandaloneModel(SystemModel):
+    """A single database with ordinary group commit and no middleware."""
+
+    uses_ordered_commits = True
+
+    def commit_update(self, replica: SimReplicaNode, profile: TransactionProfile,
+                      tx_start_version: int) -> Generator:
+        # Ordering and durability happen together: the commit record joins
+        # whatever group the log writer flushes next.
+        durable = replica.submit_commit_records(1)
+        yield durable
+        replica.observe_commit(replica.replica_version + 1)
+        return True, None

@@ -1,0 +1,46 @@
+"""The Tashkent-MW system model.
+
+Durability is united with ordering *in the middleware*: the certifier's
+persistent log is the durable copy, so the replica databases run with
+synchronous commits disabled.  The proxy still applies remote writesets and
+the local commit serially (the control flow is identical to Base), but both
+are now fast in-memory operations; the only synchronous write on the commit
+path is the certifier's group flush, which batches writesets from every
+replica in the system.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.models import SystemModel
+from repro.cluster.nodes import SimReplicaNode
+from repro.workloads.spec import TransactionProfile
+
+
+class TashkentMWModel(SystemModel):
+    """Durability united with ordering in the replication middleware."""
+
+    def commit_update(self, replica: SimReplicaNode, profile: TransactionProfile,
+                      tx_start_version: int) -> Generator:
+        # The certifier makes the writeset durable (group-committed with every
+        # other outstanding writeset) before answering.
+        result = yield from self._certify(replica, profile, tx_start_version)
+
+        yield replica.commit_lock.request()
+        try:
+            pending = replica.claim_remote(result.remote_writesets)
+            if pending:
+                yield from self._apply_remote_cpu(replica, len(pending))
+                # Committing the grouped remote writesets is an in-memory
+                # action: no synchronous write at the replica.
+                yield from replica.cpu.execute(self.workload.in_memory_commit_ms)
+            if result.committed:
+                yield from replica.cpu.execute(self.workload.in_memory_commit_ms)
+                replica.observe_commit(result.tx_commit_version)
+        finally:
+            replica.commit_lock.release()
+
+        if result.committed:
+            return True, None
+        return False, "forced-abort" if result.forced_abort else "certification"

@@ -1,0 +1,26 @@
+"""Certifier availability substrate: Paxos-replicated state.
+
+The paper replicates the certifier across a small set of nodes using Paxos
+(Section 7.3): a leader receives all certification requests, sends the new
+log records to every certifier node, and declares transactions committed
+once a majority has acknowledged the write.  This package provides:
+
+* :mod:`repro.consensus.paxos` — single-decree Paxos (proposers, acceptors);
+* :mod:`repro.consensus.log` — a multi-Paxos style replicated log with a
+  leader, majority acknowledgement and catch-up;
+* :mod:`repro.consensus.group` — the replicated certifier group built on the
+  replicated log, with crash and recovery of individual nodes.
+"""
+
+from repro.consensus.paxos import Acceptor, PaxosInstance, Proposer
+from repro.consensus.log import ReplicatedLog, ReplicatedLogNode
+from repro.consensus.group import ReplicatedCertifierGroup
+
+__all__ = [
+    "Acceptor",
+    "PaxosInstance",
+    "Proposer",
+    "ReplicatedCertifierGroup",
+    "ReplicatedLog",
+    "ReplicatedLogNode",
+]

@@ -1,0 +1,116 @@
+"""The Paxos-replicated certifier group.
+
+Combines the pure certification logic with the replicated log: the leader
+certifies, proposes the accepted writeset to the certifier group, and only
+acknowledges the commit to the replica once a majority of certifier nodes
+has the log record.  Individual nodes can crash and recover; progress
+requires a majority (paper, Section 7: "Update transactions can be processed
+if a majority of certifier nodes are up and at least one replica is up").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.log import ReplicatedLog, ReplicatedLogNode
+from repro.core.certification import CertificationRequest, CertificationResult, Certifier
+from repro.core.certifier_log import LogRecord
+from repro.errors import QuorumUnavailableError
+
+
+@dataclass
+class GroupStats:
+    """Counters describing the group's replication activity."""
+
+    appended_records: int = 0
+    leader_changes: int = 0
+    state_transfers: int = 0
+
+
+class ReplicatedCertifierGroup:
+    """A certifier replicated across ``num_nodes`` nodes with a leader."""
+
+    def __init__(self, num_nodes: int = 3, *, forced_abort_rate: float = 0.0,
+                 abort_chooser=None) -> None:
+        self.nodes = [ReplicatedLogNode(node_id=i) for i in range(num_nodes)]
+        self.replicated_log = ReplicatedLog(self.nodes)
+        self.certifier = Certifier(
+            forced_abort_rate=forced_abort_rate, abort_chooser=abort_chooser
+        )
+        self.stats = GroupStats()
+
+    # -- certification through the group ---------------------------------------------
+
+    @property
+    def leader_id(self) -> int:
+        return self.replicated_log.leader_id
+
+    def certify(self, request: CertificationRequest) -> CertificationResult:
+        """Certify a transaction; the decision is durable on a majority.
+
+        Raises :class:`QuorumUnavailableError` when fewer than a majority of
+        certifier nodes are up — update transactions cannot be processed in
+        that state, which is exactly the paper's availability condition.
+        """
+        if not self.replicated_log.has_quorum():
+            raise QuorumUnavailableError("certifier group has no majority")
+        if not self.replicated_log.leader.up:
+            self.elect_new_leader()
+        result = self.certifier.certify(request)
+        if result.committed and result.tx_commit_version is not None:
+            record = self.certifier.log.record_at(result.tx_commit_version)
+            self.replicated_log.append(
+                (record.commit_version, record.writeset), from_node=self.leader_id
+            )
+            self.certifier.log.mark_durable(record.commit_version)
+            self.stats.appended_records += 1
+        return result
+
+    # -- failures ----------------------------------------------------------------------------
+
+    def crash_node(self, node_id: int) -> None:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                node.crash()
+                return
+        raise KeyError(f"unknown certifier node {node_id}")
+
+    def recover_node(self, node_id: int) -> int:
+        """Bring a node back: state transfer from an up peer, rejoin the group."""
+        for node in self.nodes:
+            if node.node_id == node_id:
+                node.recover()
+                transferred = self.replicated_log.catch_up(node)
+                self.stats.state_transfers += 1
+                return transferred
+        raise KeyError(f"unknown certifier node {node_id}")
+
+    def elect_new_leader(self) -> int:
+        previous = self.replicated_log.leader_id
+        new_leader = self.replicated_log.elect_leader()
+        if new_leader != previous:
+            self.stats.leader_changes += 1
+        return new_leader
+
+    # -- interrogation -----------------------------------------------------------------------
+
+    def up_count(self) -> int:
+        return len(self.replicated_log.up_nodes())
+
+    def has_quorum(self) -> bool:
+        return self.replicated_log.has_quorum()
+
+    def node_log_length(self, node_id: int) -> int:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node.known_length()
+        raise KeyError(f"unknown certifier node {node_id}")
+
+    def logs_consistent(self) -> bool:
+        """Every up node's log is a prefix of the leader's chosen sequence."""
+        chosen = self.replicated_log.chosen_prefix()
+        for node in self.replicated_log.up_nodes():
+            prefix = [entry for entry in node.entries if entry is not None]
+            if prefix != chosen[: len(prefix)]:
+                return False
+        return True

@@ -1,0 +1,163 @@
+"""A leader-based replicated log (multi-Paxos style).
+
+The replicated certifier needs a log whose entries are agreed on by a
+majority of certifier nodes before they count as durable (paper, Section
+7.3: "When a majority of certifiers reply, the leader declares those
+transactions as committed").  Each log slot is a Paxos instance; in the
+common case the stable leader skips phase 1 and drives phase 2 directly,
+which is exactly the one-round-trip-plus-fsync behaviour the paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.consensus.paxos import Acceptor, Ballot, Proposer
+from repro.errors import ConsensusError, NotLeaderError, QuorumUnavailableError
+
+
+@dataclass
+class ReplicatedLogNode:
+    """One certifier node's replica of the log."""
+
+    node_id: int
+    entries: list[object] = field(default_factory=list)
+    #: Each slot has its own acceptor state.
+    acceptors: dict[int, Acceptor] = field(default_factory=dict)
+    up: bool = True
+    #: Synchronous writes performed by this node (each accepted slot is one
+    #: stable-storage write in the real system; they are batched in practice).
+    stable_writes: int = 0
+
+    def acceptor_for(self, slot: int) -> Acceptor:
+        acceptor = self.acceptors.get(slot)
+        if acceptor is None:
+            acceptor = Acceptor(self.node_id)
+            self.acceptors[slot] = acceptor
+        acceptor.up = self.up
+        return acceptor
+
+    def learn(self, slot: int, value: object) -> None:
+        """Record a chosen value locally (extends the node's copy of the log)."""
+        if not self.up:
+            return
+        while len(self.entries) <= slot:
+            self.entries.append(None)
+        if self.entries[slot] is None:
+            self.entries[slot] = value
+            self.stable_writes += 1
+
+    def crash(self) -> None:
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True
+        for acceptor in self.acceptors.values():
+            acceptor.recover()
+
+    def known_length(self) -> int:
+        """Length of the longest known prefix with no holes."""
+        length = 0
+        for entry in self.entries:
+            if entry is None:
+                break
+            length += 1
+        return length
+
+
+class ReplicatedLog:
+    """The leader's view of the replicated log."""
+
+    def __init__(self, nodes: Sequence[ReplicatedLogNode], *, leader_id: int | None = None) -> None:
+        if not nodes:
+            raise ConsensusError("the replicated log needs at least one node")
+        self.nodes = list(nodes)
+        self.leader_id = leader_id if leader_id is not None else self.nodes[0].node_id
+        self._next_slot = 0
+
+    # -- leadership ---------------------------------------------------------------
+
+    @property
+    def leader(self) -> ReplicatedLogNode:
+        for node in self.nodes:
+            if node.node_id == self.leader_id:
+                return node
+        raise ConsensusError(f"unknown leader id {self.leader_id}")
+
+    @property
+    def majority(self) -> int:
+        return len(self.nodes) // 2 + 1
+
+    def up_nodes(self) -> list[ReplicatedLogNode]:
+        return [node for node in self.nodes if node.up]
+
+    def has_quorum(self) -> bool:
+        return len(self.up_nodes()) >= self.majority
+
+    def elect_leader(self) -> int:
+        """Elect the lowest-id up node as leader (deterministic election)."""
+        candidates = self.up_nodes()
+        if not candidates:
+            raise QuorumUnavailableError("no certifier node is up")
+        self.leader_id = min(node.node_id for node in candidates)
+        return self.leader_id
+
+    # -- appending ----------------------------------------------------------------------
+
+    def append(self, value: object, *, from_node: int | None = None) -> int:
+        """Append ``value`` through the leader; returns its slot index.
+
+        Raises :class:`NotLeaderError` when the request is addressed to a
+        non-leader node and :class:`QuorumUnavailableError` when fewer than a
+        majority of nodes are up.
+        """
+        if from_node is not None and from_node != self.leader_id:
+            raise NotLeaderError(
+                f"node {from_node} is not the leader (leader is {self.leader_id})"
+            )
+        if not self.leader.up:
+            raise NotLeaderError(f"leader {self.leader_id} is down; elect a new leader")
+        if not self.has_quorum():
+            raise QuorumUnavailableError(
+                f"only {len(self.up_nodes())} of {len(self.nodes)} certifier nodes are up"
+            )
+        slot = self._next_slot
+        acceptors = [node.acceptor_for(slot) for node in self.nodes]
+        proposer = Proposer(self.leader_id, acceptors)
+        chosen = proposer.propose(value)
+        for node in self.nodes:
+            node.learn(slot, chosen)
+        self._next_slot += 1
+        return slot
+
+    # -- recovery ---------------------------------------------------------------------------
+
+    def catch_up(self, node: ReplicatedLogNode) -> int:
+        """State transfer: copy missing entries to a recovering node.
+
+        Returns the number of entries transferred ("essentially a file
+        transfer" from an up node, Section 9.6).
+        """
+        source = None
+        for candidate in self.up_nodes():
+            if candidate.node_id != node.node_id:
+                source = candidate
+                break
+        if source is None:
+            raise QuorumUnavailableError("no up node available for state transfer")
+        transferred = 0
+        for slot, value in enumerate(source.entries):
+            if value is None:
+                continue
+            if slot >= len(node.entries) or node.entries[slot] is None:
+                node.learn(slot, value)
+                transferred += 1
+        return transferred
+
+    def chosen_prefix(self) -> list[object]:
+        """The values chosen so far, in slot order (the leader's view)."""
+        return [entry for entry in self.leader.entries if entry is not None]
+
+    def __len__(self) -> int:
+        return self._next_slot

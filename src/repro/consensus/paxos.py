@@ -1,0 +1,163 @@
+"""Single-decree Paxos.
+
+A compact, synchronous implementation of the classic protocol [Lamport 98]
+used by the replicated certifier: proposers run the two phases (prepare /
+accept) against a set of acceptors; a value is chosen once a majority of
+acceptors has accepted it.  The implementation is deliberately message-level
+(phase methods return explicit reply objects) so failure injection in tests
+can drop or reorder individual messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ConsensusError, QuorumUnavailableError
+
+
+@dataclass(frozen=True)
+class Ballot:
+    """A totally ordered ballot number: (round, proposer id)."""
+
+    round: int
+    proposer: int
+
+    def __lt__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) < (other.round, other.proposer)
+
+    def __le__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) <= (other.round, other.proposer)
+
+    def next_round(self) -> "Ballot":
+        return Ballot(self.round + 1, self.proposer)
+
+
+@dataclass
+class PrepareReply:
+    """Acceptor's answer to phase 1."""
+
+    acceptor: int
+    promised: bool
+    accepted_ballot: Ballot | None = None
+    accepted_value: object = None
+
+
+@dataclass
+class AcceptReply:
+    """Acceptor's answer to phase 2."""
+
+    acceptor: int
+    accepted: bool
+
+
+class Acceptor:
+    """A Paxos acceptor with stable (crash-surviving) state."""
+
+    def __init__(self, acceptor_id: int) -> None:
+        self.acceptor_id = acceptor_id
+        self.promised_ballot: Ballot | None = None
+        self.accepted_ballot: Ballot | None = None
+        self.accepted_value: object = None
+        self.up = True
+
+    def prepare(self, ballot: Ballot) -> PrepareReply | None:
+        """Phase 1b: promise not to accept lower ballots."""
+        if not self.up:
+            return None
+        if self.promised_ballot is not None and ballot <= self.promised_ballot:
+            return PrepareReply(self.acceptor_id, promised=False)
+        self.promised_ballot = ballot
+        return PrepareReply(
+            self.acceptor_id,
+            promised=True,
+            accepted_ballot=self.accepted_ballot,
+            accepted_value=self.accepted_value,
+        )
+
+    def accept(self, ballot: Ballot, value: object) -> AcceptReply | None:
+        """Phase 2b: accept the value unless a higher ballot was promised."""
+        if not self.up:
+            return None
+        if self.promised_ballot is not None and ballot < self.promised_ballot:
+            return AcceptReply(self.acceptor_id, accepted=False)
+        self.promised_ballot = ballot
+        self.accepted_ballot = ballot
+        self.accepted_value = value
+        return AcceptReply(self.acceptor_id, accepted=True)
+
+    # -- crash / recovery -------------------------------------------------------
+
+    def crash(self) -> None:
+        self.up = False
+
+    def recover(self) -> None:
+        """Acceptor state is stable storage: it survives the crash."""
+        self.up = True
+
+
+class Proposer:
+    """A Paxos proposer driving both phases against a set of acceptors."""
+
+    def __init__(self, proposer_id: int, acceptors: Sequence[Acceptor]) -> None:
+        if not acceptors:
+            raise ConsensusError("a proposer needs at least one acceptor")
+        self.proposer_id = proposer_id
+        self.acceptors = list(acceptors)
+        self.ballot = Ballot(0, proposer_id)
+
+    @property
+    def majority(self) -> int:
+        return len(self.acceptors) // 2 + 1
+
+    def propose(self, value: object, *, max_rounds: int = 10) -> object:
+        """Drive the protocol until a value is chosen; returns the chosen value.
+
+        The chosen value may differ from ``value`` if an earlier proposal was
+        already accepted by some acceptor (the proposer then adopts it, as
+        Paxos requires).  Raises :class:`QuorumUnavailableError` when a
+        majority of acceptors is unreachable.
+        """
+        for _ in range(max_rounds):
+            self.ballot = self.ballot.next_round()
+            promises = [a.prepare(self.ballot) for a in self.acceptors]
+            granted = [p for p in promises if p is not None and p.promised]
+            reachable = [p for p in promises if p is not None]
+            if len(reachable) < self.majority:
+                raise QuorumUnavailableError(
+                    f"only {len(reachable)} of {len(self.acceptors)} acceptors reachable"
+                )
+            if len(granted) < self.majority:
+                continue  # outpaced by a higher ballot; retry with a higher round
+            proposal = self._choose_value(granted, value)
+            replies = [a.accept(self.ballot, proposal) for a in self.acceptors]
+            accepted = [r for r in replies if r is not None and r.accepted]
+            if len(accepted) >= self.majority:
+                return proposal
+        raise ConsensusError(f"no decision after {max_rounds} ballots")
+
+    @staticmethod
+    def _choose_value(promises: Iterable[PrepareReply], fallback: object) -> object:
+        """Adopt the value of the highest accepted ballot, if any."""
+        best: PrepareReply | None = None
+        for promise in promises:
+            if promise.accepted_ballot is None:
+                continue
+            if best is None or best.accepted_ballot < promise.accepted_ballot:
+                best = promise
+        return fallback if best is None else best.accepted_value
+
+
+@dataclass
+class PaxosInstance:
+    """One consensus instance (one slot of the replicated log)."""
+
+    acceptors: list[Acceptor] = field(default_factory=list)
+    chosen_value: object = None
+    decided: bool = False
+
+    def decide(self, proposer: Proposer, value: object) -> object:
+        chosen = proposer.propose(value)
+        self.chosen_value = chosen
+        self.decided = True
+        return chosen

@@ -1,0 +1,44 @@
+"""Pure protocol logic for GSI replication.
+
+This package contains no timing, no IO and no engine dependencies.  It is the
+shared vocabulary between the functional replicated system
+(:mod:`repro.middleware`) and the simulated clusters used by the evaluation
+(:mod:`repro.cluster`).
+"""
+
+from repro.core.artificial_conflicts import ArtificialConflictDetector
+from repro.core.certification import CertificationDecision, CertificationResult, Certifier
+from repro.core.certifier_log import CertifierLog, LogRecord
+from repro.core.config import (
+    DiskConfig,
+    NetworkConfig,
+    ReplicationConfig,
+    SystemKind,
+    WorkloadName,
+)
+from repro.core.group_commit import GroupCommitBatcher, GroupCommitStats
+from repro.core.ordering import CommitSequencer
+from repro.core.versions import Snapshot, VersionClock
+from repro.core.writeset import WriteItem, WriteOp, WriteSet
+
+__all__ = [
+    "ArtificialConflictDetector",
+    "CertificationDecision",
+    "CertificationResult",
+    "Certifier",
+    "CertifierLog",
+    "CommitSequencer",
+    "DiskConfig",
+    "GroupCommitBatcher",
+    "GroupCommitStats",
+    "LogRecord",
+    "NetworkConfig",
+    "ReplicationConfig",
+    "Snapshot",
+    "SystemKind",
+    "VersionClock",
+    "WorkloadName",
+    "WriteItem",
+    "WriteOp",
+    "WriteSet",
+]

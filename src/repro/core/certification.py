@@ -1,0 +1,270 @@
+"""The GSI certifier (pure logic, no IO or timing).
+
+This module implements the pseudo-code of Section 6.1 of the paper.  On a
+certification request carrying ``(tx_start_version, writeset)`` the certifier:
+
+1. intersection-tests the writeset against every logged writeset whose
+   commit version is greater than ``tx_start_version``;
+2. if there is no intersection, increments ``system_version``, assigns it as
+   the transaction's commit version and appends the writeset to the log;
+   otherwise the decision is "abort";
+3. returns the decision, the commit version, and the remote writesets the
+   requesting replica has not received yet.
+
+Durability of the log (the group-commit flush) is *not* performed here — the
+caller (the functional certifier service in :mod:`repro.middleware.certifier`
+or the simulated certifier node in :mod:`repro.cluster`) owns the IO so that
+the same certification logic is reused in both paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.certifier_log import CertifierLog, LogRecord
+from repro.core.versions import VersionClock
+from repro.core.writeset import WriteSet
+
+
+class CertificationDecision(str, enum.Enum):
+    """Outcome of a certification request."""
+
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass
+class CertificationRequest:
+    """A certification request as sent by a replica's proxy."""
+
+    tx_start_version: int
+    writeset: WriteSet
+    #: The replica's current ``replica_version``; remote writesets committed
+    #: after this version are returned with the response.
+    replica_version: int
+    origin_replica: str = "replica-0"
+    #: Under Tashkent-API the proxy asks that the returned remote writesets
+    #: be conflict-checked back to this version so it can safely submit them
+    #: concurrently (Section 5.2.1).  ``None`` disables the extended check.
+    check_remote_back_to: int | None = None
+
+    def request_size_bytes(self) -> int:
+        """Approximate wire size of the request."""
+        return 48 + self.writeset.size_bytes()
+
+
+@dataclass
+class RemoteWriteSetInfo:
+    """A remote writeset returned to a replica, plus its safety horizon."""
+
+    commit_version: int
+    writeset: WriteSet
+    origin_replica: str
+    #: The writeset is known conflict-free against every writeset committed
+    #: after this version.  The Tashkent-API proxy may submit two remote
+    #: writesets concurrently only if each is conflict-free back to the
+    #: replica's current version.
+    conflict_free_back_to: int
+
+    def size_bytes(self) -> int:
+        return self.writeset.size_bytes() + 24
+
+
+@dataclass
+class CertificationResult:
+    """The certifier's response to a certification request."""
+
+    decision: CertificationDecision
+    tx_commit_version: int | None
+    remote_writesets: list[RemoteWriteSetInfo] = field(default_factory=list)
+    #: True when the abort was injected by the forced-abort knob rather than
+    #: by a genuine write-write conflict (Section 9.5).
+    forced_abort: bool = False
+    #: Commit version of the record that caused a genuine conflict.
+    conflicting_version: int | None = None
+
+    @property
+    def committed(self) -> bool:
+        return self.decision is CertificationDecision.COMMIT
+
+    def response_size_bytes(self) -> int:
+        return 32 + sum(info.size_bytes() for info in self.remote_writesets)
+
+
+class Certifier:
+    """Certification and global ordering of update transactions.
+
+    The certifier is deliberately free of IO: appends go to the in-memory
+    :class:`CertifierLog`, and the caller decides when and how the pending
+    records become durable (one fsync per record in a naive deployment, a
+    single batched fsync under group commit).
+
+    ``forced_abort_rate`` reproduces the abort-injection experiment of
+    Section 9.5: a fraction of requests is aborted *after* the full
+    certification check so the computational cost is still paid.
+    ``abort_chooser`` makes the injection deterministic for tests.
+    """
+
+    def __init__(
+        self,
+        log: CertifierLog | None = None,
+        *,
+        forced_abort_rate: float = 0.0,
+        abort_chooser: Callable[[], float] | None = None,
+    ) -> None:
+        self.log = log if log is not None else CertifierLog()
+        self.system_version = VersionClock(self.log.last_version)
+        self.forced_abort_rate = forced_abort_rate
+        self._abort_chooser = abort_chooser
+        # Statistics used by the evaluation harness.
+        self.certification_requests = 0
+        self.commits = 0
+        self.aborts = 0
+        self.forced_aborts = 0
+        self.readonly_requests = 0
+        self.intersection_tests = 0
+
+    # -- main entry point ----------------------------------------------------
+
+    def certify(self, request: CertificationRequest) -> CertificationResult:
+        """Process one certification request (paper Section 6.1 pseudo-code)."""
+        self.certification_requests += 1
+        writeset = request.writeset
+
+        if writeset.is_empty():
+            # Read-only transactions never reach the certifier in the real
+            # system; accepting them here keeps the API forgiving.
+            self.readonly_requests += 1
+            return CertificationResult(
+                decision=CertificationDecision.COMMIT,
+                tx_commit_version=None,
+                remote_writesets=self._remote_writesets_for(request),
+            )
+
+        conflicting_version = self._find_conflict(writeset, request.tx_start_version)
+        if conflicting_version is not None:
+            self.aborts += 1
+            return CertificationResult(
+                decision=CertificationDecision.ABORT,
+                tx_commit_version=None,
+                remote_writesets=self._remote_writesets_for(request),
+                conflicting_version=conflicting_version,
+            )
+
+        if self._should_force_abort():
+            # The full certification check above was performed on purpose so
+            # that the certifier pays the computational cost (Section 9.5).
+            self.aborts += 1
+            self.forced_aborts += 1
+            return CertificationResult(
+                decision=CertificationDecision.ABORT,
+                tx_commit_version=None,
+                remote_writesets=self._remote_writesets_for(request),
+                forced_abort=True,
+            )
+
+        commit_version = self.system_version.increment()
+        self.log.append(
+            LogRecord(
+                commit_version=commit_version,
+                writeset=writeset,
+                origin_replica=request.origin_replica,
+                certified_back_to=request.tx_start_version,
+            )
+        )
+        self.commits += 1
+        remote = self._remote_writesets_for(request, exclude_version=commit_version)
+        return CertificationResult(
+            decision=CertificationDecision.COMMIT,
+            tx_commit_version=commit_version,
+            remote_writesets=remote,
+        )
+
+    def fetch_remote_writesets(self, replica_version: int,
+                               check_back_to: int | None = None) -> list[RemoteWriteSetInfo]:
+        """Remote writesets committed after ``replica_version``.
+
+        Used by the bounded-staleness refresh (Section 6.2) when a replica has
+        not heard from the certifier for a while.
+        """
+        request = CertificationRequest(
+            tx_start_version=replica_version,
+            writeset=WriteSet(),
+            replica_version=replica_version,
+            check_remote_back_to=check_back_to,
+        )
+        return self._remote_writesets_for(request)
+
+    # -- internals -----------------------------------------------------------
+
+    def _find_conflict(self, writeset: WriteSet, after_version: int) -> int | None:
+        """First conflicting commit version after ``after_version``."""
+        for record in self.log.records_after(after_version):
+            self.intersection_tests += 1
+            if writeset.conflicts_with(record.writeset):
+                return record.commit_version
+        return None
+
+    def _should_force_abort(self) -> bool:
+        if self.forced_abort_rate <= 0.0:
+            return False
+        if self._abort_chooser is None:
+            return False
+        return self._abort_chooser() < self.forced_abort_rate
+
+    def _remote_writesets_for(
+        self,
+        request: CertificationRequest,
+        exclude_version: int | None = None,
+    ) -> list[RemoteWriteSetInfo]:
+        """Remote writesets the requesting replica has not seen yet.
+
+        When the request carries ``check_remote_back_to`` (Tashkent-API), the
+        certifier extends each returned writeset's intersection test back to
+        that version and reports the resulting safety horizon.
+        """
+        remote: list[RemoteWriteSetInfo] = []
+        back_to = request.check_remote_back_to
+        for record in self.log.records_after(request.replica_version):
+            if exclude_version is not None and record.commit_version == exclude_version:
+                continue
+            horizon = self.log.certified_back_to(record.commit_version)
+            if back_to is not None and back_to < horizon:
+                self.intersection_tests += 1
+                if self.log.extend_certification(record.commit_version, back_to):
+                    horizon = back_to
+                else:
+                    horizon = self.log.certified_back_to(record.commit_version)
+            remote.append(
+                RemoteWriteSetInfo(
+                    commit_version=record.commit_version,
+                    writeset=record.writeset,
+                    origin_replica=record.origin_replica,
+                    conflict_free_back_to=horizon,
+                )
+            )
+        return remote
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def abort_rate(self) -> float:
+        """Observed abort rate over update-transaction requests."""
+        updates = self.commits + self.aborts
+        return self.aborts / updates if updates else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Snapshot of the certifier counters for reporting."""
+        return {
+            "requests": self.certification_requests,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "forced_aborts": self.forced_aborts,
+            "readonly_requests": self.readonly_requests,
+            "intersection_tests": self.intersection_tests,
+            "abort_rate": self.abort_rate,
+            "system_version": self.system_version.version,
+            "log_length": self.log.last_version,
+        }

@@ -1,0 +1,217 @@
+"""The certifier's log of certified writesets.
+
+The certifier maintains a persistent log recording ``(writeset,
+tx_commit_version)`` tuples for every committed update transaction (paper,
+Section 6.1).  The log serves three purposes:
+
+* it defines the global total order of update commits,
+* it is the durable record that allows the certifier to recover, and
+* under Tashkent-MW it is the *only* durable copy of committed updates, so
+  replicas recover by replaying a suffix of it.
+
+This module keeps the log as an in-memory structure with an explicit
+"durable horizon": records are appended immediately (so certification can
+proceed) but only become durable once the group-commit flush completes.  The
+persistence itself (real file or simulated disk) is supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.writeset import WriteSet
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One certified update transaction."""
+
+    commit_version: int
+    writeset: WriteSet
+    #: Replica that originated the transaction (diagnostics / filtering).
+    origin_replica: str = "unknown"
+    #: How far back this writeset has been intersection-tested.  Initially
+    #: the transaction's effective start version; Tashkent-API may extend the
+    #: test further back on behalf of a replica (Section 5.2.1).
+    certified_back_to: int = 0
+
+    def size_bytes(self) -> int:
+        return self.writeset.size_bytes() + 16
+
+
+class CertifierLog:
+    """Append-only log of certified writesets, indexed by commit version.
+
+    Commit versions are dense and start at 1, so record ``i`` (0-based) holds
+    commit version ``i + 1``.  The log also tracks ``durable_version`` — the
+    highest commit version whose record has been flushed to stable storage —
+    which the certifier advances after each group flush.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._durable_version = 0
+        #: Mutable extension horizon per commit version, updated when the
+        #: certifier performs additional intersection testing for a replica.
+        self._certified_back_to: dict[int, int] = {}
+
+    # -- append / flush ----------------------------------------------------
+
+    def append(self, record: LogRecord) -> None:
+        """Append a record; its commit version must be the next in sequence."""
+        expected = len(self._records) + 1
+        if record.commit_version != expected:
+            raise ConfigurationError(
+                f"log append out of order: expected version {expected}, "
+                f"got {record.commit_version}"
+            )
+        self._records.append(record)
+        self._certified_back_to[record.commit_version] = record.certified_back_to
+
+    def mark_durable(self, up_to_version: int) -> None:
+        """Advance the durable horizon after a successful flush."""
+        if up_to_version < self._durable_version:
+            raise ConfigurationError("durable horizon cannot move backwards")
+        if up_to_version > self.last_version:
+            raise ConfigurationError("cannot mark unwritten records durable")
+        self._durable_version = up_to_version
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def last_version(self) -> int:
+        """Highest appended commit version (0 when the log is empty)."""
+        return len(self._records)
+
+    @property
+    def durable_version(self) -> int:
+        """Highest commit version known to be on stable storage."""
+        return self._durable_version
+
+    @property
+    def pending_flush_count(self) -> int:
+        """Number of appended records not yet durable."""
+        return self.last_version - self._durable_version
+
+    def record_at(self, commit_version: int) -> LogRecord:
+        """Return the record that created ``commit_version``."""
+        if not 1 <= commit_version <= self.last_version:
+            raise KeyError(f"no log record for version {commit_version}")
+        return self._records[commit_version - 1]
+
+    def records_between(self, after_version: int, up_to_version: int) -> list[LogRecord]:
+        """Records with ``after_version < commit_version <= up_to_version``.
+
+        This is exactly the set of "remote writesets the replica has not
+        received yet" returned by the certifier to a replica whose
+        ``replica_version`` is ``after_version``.
+        """
+        if up_to_version > self.last_version:
+            up_to_version = self.last_version
+        if after_version >= up_to_version:
+            return []
+        return self._records[after_version:up_to_version]
+
+    def records_after(self, after_version: int) -> list[LogRecord]:
+        """All records with commit version greater than ``after_version``."""
+        return self.records_between(after_version, self.last_version)
+
+    def conflicts(self, writeset: WriteSet, after_version: int,
+                  up_to_version: int | None = None) -> bool:
+        """Intersection test against the records in ``(after, up_to]``.
+
+        Returns True when ``writeset`` overlaps any logged writeset committed
+        after ``after_version``.  This is the paper's certification check.
+        """
+        end = self.last_version if up_to_version is None else up_to_version
+        for record in self.records_between(after_version, end):
+            if writeset.conflicts_with(record.writeset):
+                return True
+        return False
+
+    def first_conflicting_version(self, writeset: WriteSet, after_version: int) -> int | None:
+        """Commit version of the earliest conflicting record, or ``None``."""
+        for record in self.records_after(after_version):
+            if writeset.conflicts_with(record.writeset):
+                return record.commit_version
+        return None
+
+    # -- extended certification bookkeeping (Tashkent-API) ------------------
+
+    def certified_back_to(self, commit_version: int) -> int:
+        """How far back the writeset at ``commit_version`` has been tested."""
+        return self._certified_back_to.get(commit_version, commit_version - 1)
+
+    def extend_certification(self, commit_version: int, back_to_version: int) -> bool:
+        """Extend the intersection test of an already-certified writeset.
+
+        The certifier "records for each writeset the point to where it has
+        been (further) certified and avoids repeated checks" (Section 5.2.1).
+        Returns True when the writeset is conflict-free back to
+        ``back_to_version``, False when a conflict with an earlier record was
+        found (in which case the horizon is left unchanged).
+        """
+        record = self.record_at(commit_version)
+        current = self.certified_back_to(commit_version)
+        if back_to_version >= current:
+            return True  # Already tested at least that far back.
+        if self.conflicts(record.writeset, back_to_version, current):
+            return False
+        self._certified_back_to[commit_version] = back_to_version
+        return True
+
+    # -- persistence helpers -------------------------------------------------
+
+    def total_size_bytes(self) -> int:
+        """Approximate size of the whole log (used by the recovery model)."""
+        return sum(record.size_bytes() for record in self._records)
+
+    def iter_records(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def replay(self, apply: Callable[[LogRecord], None],
+               after_version: int = 0) -> int:
+        """Replay the durable suffix of the log through ``apply``.
+
+        Used by certifier recovery and by Tashkent-MW replica recovery.
+        Returns the number of records replayed.
+        """
+        replayed = 0
+        for record in self.records_between(after_version, self._durable_version):
+            apply(record)
+            replayed += 1
+        return replayed
+
+    def truncate_to_durable(self) -> int:
+        """Drop records that never became durable (simulating a crash).
+
+        Returns the number of records lost.  Only used by crash-injection
+        tests; during normal operation the certifier never truncates.
+        """
+        lost = self.last_version - self._durable_version
+        del self._records[self._durable_version:]
+        for version in list(self._certified_back_to):
+            if version > self._durable_version:
+                del self._certified_back_to[version]
+        return lost
+
+    @classmethod
+    def from_records(cls, records: Iterable[LogRecord], durable: bool = True) -> "CertifierLog":
+        """Rebuild a log from records (certifier state-transfer recovery)."""
+        log = cls()
+        for record in records:
+            log.append(record)
+        if durable:
+            log.mark_durable(log.last_version)
+        return log
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"CertifierLog(last={self.last_version}, "
+            f"durable={self._durable_version})"
+        )

@@ -1,0 +1,123 @@
+"""Commit-order enforcement.
+
+Tashkent-API extends the database commit API with an optional sequence
+number (``COMMIT 9``) and the database announces commits strictly in that
+order.  The paper implements this in PostgreSQL with a semaphore that each
+committing backend waits on after writing its commit record to disk
+(Section 8.3).  :class:`CommitSequencer` is the equivalent mechanism in our
+engine: commit records may be *written* (and grouped into one flush) in any
+order, but the effects become *visible* only in sequence-number order.
+
+The sequencer is also used by the simulated Tashkent-API database node to
+decide which pending ordered commits can be announced after a flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError, InvalidTransactionState
+
+
+@dataclass
+class _PendingCommit:
+    sequence: int
+    callback: Callable[[], None] | None = None
+    durable: bool = False
+
+
+@dataclass
+class CommitSequencer:
+    """Announces commits in global sequence order.
+
+    The sequencer starts expecting sequence 1 (the first update commit in the
+    system creates version 1).  A commit is *announced* — i.e. its callback
+    runs and :attr:`announced_version` advances — only when (a) its own
+    record is durable and (b) every earlier sequence number has been
+    announced.  ``register`` + ``mark_durable`` therefore tolerate commits
+    whose records are flushed out of order, exactly like the PostgreSQL
+    semaphore patch.
+    """
+
+    announced_version: int = 0
+    _pending: dict[int, _PendingCommit] = field(default_factory=dict)
+
+    def register(self, sequence: int, callback: Callable[[], None] | None = None) -> None:
+        """Declare that a commit with ``sequence`` will arrive.
+
+        Registering a sequence number at or below the announced version, or
+        registering the same number twice, indicates middleware misuse (the
+        paper notes the extended API must be restricted to the middleware).
+        """
+        if sequence <= self.announced_version:
+            raise ConfigurationError(
+                f"sequence {sequence} already announced (at {self.announced_version})"
+            )
+        if sequence in self._pending:
+            raise ConfigurationError(f"sequence {sequence} already registered")
+        self._pending[sequence] = _PendingCommit(sequence=sequence, callback=callback)
+
+    def mark_durable(self, sequence: int) -> list[int]:
+        """Record that the commit record for ``sequence`` is on disk.
+
+        Returns the list of sequence numbers announced as a consequence (in
+        order).  The list is empty when an earlier sequence is still missing
+        — this is the situation the paper warns about: issuing ``COMMIT 9``
+        without ever providing commits 1-8 leaves the database waiting.
+        """
+        pending = self._pending.get(sequence)
+        if pending is None:
+            raise InvalidTransactionState(f"sequence {sequence} was never registered")
+        pending.durable = True
+        return self._drain()
+
+    def register_and_mark_durable(self, sequence: int,
+                                  callback: Callable[[], None] | None = None) -> list[int]:
+        """Convenience for callers that learn about a commit only at flush time."""
+        self.register(sequence, callback)
+        return self.mark_durable(sequence)
+
+    def _drain(self) -> list[int]:
+        announced: list[int] = []
+        while True:
+            next_sequence = self.announced_version + 1
+            pending = self._pending.get(next_sequence)
+            if pending is None or not pending.durable:
+                break
+            del self._pending[next_sequence]
+            self.announced_version = next_sequence
+            if pending.callback is not None:
+                pending.callback()
+            announced.append(next_sequence)
+        return announced
+
+    # -- interrogation -------------------------------------------------------
+
+    @property
+    def waiting_count(self) -> int:
+        """Number of registered commits not yet announced."""
+        return len(self._pending)
+
+    def is_waiting_for(self, sequence: int) -> bool:
+        """True when ``sequence`` is registered but not yet announced."""
+        return sequence in self._pending
+
+    def blocked_sequences(self) -> list[int]:
+        """Durable commits blocked behind a missing earlier sequence."""
+        return sorted(
+            sequence for sequence, pending in self._pending.items() if pending.durable
+        )
+
+    def would_deadlock(self) -> bool:
+        """True when durable commits are waiting on a sequence never registered.
+
+        This detects the paper's abuse scenario (COMMIT 9 without COMMIT 1-8):
+        some commit is durable and waiting, but the next expected sequence was
+        never registered, so no future ``mark_durable`` can unblock it.
+        """
+        if not self._pending:
+            return False
+        next_sequence = self.announced_version + 1
+        has_durable_waiters = any(p.durable for p in self._pending.values())
+        return has_durable_waiters and next_sequence not in self._pending

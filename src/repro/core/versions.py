@@ -1,0 +1,122 @@
+"""Version bookkeeping for generalized snapshot isolation.
+
+The paper uses ``version`` to count database snapshots: the database starts
+at version zero and every committed update transaction increments it.  A
+transaction carries two numbers, ``tx_start_version`` (the snapshot it reads
+from) and ``tx_commit_version`` (the snapshot its commit creates, valid only
+for update transactions).  The certifier owns the authoritative
+``system_version`` and each replica tracks its own ``replica_version``, which
+is always a consistent prefix of the certifier's log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A snapshot handle given to a transaction at BEGIN.
+
+    ``version`` is the GSI version of the snapshot.  ``replica`` identifies
+    which replica produced it, which matters only for diagnostics: GSI allows
+    a transaction to receive a snapshot that is older than the latest global
+    one, hence two replicas may hand out snapshots with different versions at
+    the same wall-clock instant.
+    """
+
+    version: int
+    replica: str = "standalone"
+
+    def __post_init__(self) -> None:
+        if self.version < 0:
+            raise ConfigurationError("snapshot version must be >= 0")
+
+    def is_at_least(self, version: int) -> bool:
+        """True when this snapshot already reflects ``version``."""
+        return self.version >= version
+
+
+class VersionClock:
+    """A monotonically increasing GSI version counter.
+
+    Used both by the certifier (``system_version``) and by the replicas
+    (``replica_version``).  ``advance_to`` is used by replicas when applying
+    a batch of remote writesets, which may move the version forward by more
+    than one (the paper's 0, 3, 4, 8, 9 sequence in Section 3).
+    """
+
+    __slots__ = ("_version",)
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ConfigurationError("initial version must be >= 0")
+        self._version = initial
+
+    @property
+    def version(self) -> int:
+        """The current version."""
+        return self._version
+
+    def increment(self) -> int:
+        """Advance by one and return the new version (certifier commit)."""
+        self._version += 1
+        return self._version
+
+    def advance_to(self, version: int) -> int:
+        """Move the clock forward to ``version``.
+
+        Moving backwards is a protocol violation (a replica can never regress
+        to an older snapshot), so it raises ``ConfigurationError``.
+        Advancing to the current version is a no-op, which happens when a
+        replica learns about a commit it already applied.
+        """
+        if version < self._version:
+            raise ConfigurationError(
+                f"version clock cannot move backwards ({self._version} -> {version})"
+            )
+        self._version = version
+        return self._version
+
+    def snapshot(self, replica: str = "standalone") -> Snapshot:
+        """Produce a snapshot handle at the current version."""
+        return Snapshot(version=self._version, replica=replica)
+
+    def __repr__(self) -> str:
+        return f"VersionClock(version={self._version})"
+
+
+@dataclass
+class TransactionVersions:
+    """The pair of versions the protocol tracks per transaction."""
+
+    tx_start_version: int
+    tx_commit_version: int | None = None
+    #: Local certification may advance the *effective* start version past
+    #: ``tx_start_version`` (Section 6.2, "Local certification"), reducing
+    #: the window the certifier must intersection-test.
+    effective_start_version: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.tx_start_version < 0:
+            raise ConfigurationError("tx_start_version must be >= 0")
+        if self.effective_start_version < self.tx_start_version:
+            self.effective_start_version = self.tx_start_version
+
+    @property
+    def is_committed(self) -> bool:
+        return self.tx_commit_version is not None
+
+    def mark_committed(self, commit_version: int) -> None:
+        if commit_version <= self.effective_start_version:
+            raise ConfigurationError(
+                "commit version must be greater than the (effective) start version"
+            )
+        self.tx_commit_version = commit_version
+
+    def advance_effective_start(self, version: int) -> None:
+        """Record that conflicts have been ruled out up to ``version``."""
+        if version > self.effective_start_version:
+            self.effective_start_version = version

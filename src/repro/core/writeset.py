@@ -1,0 +1,167 @@
+"""Writesets: the unit of update propagation and certification.
+
+A writeset captures "the minimal set of actions necessary to recreate a
+transaction's modifications" (paper, Section 2).  Each element identifies the
+table, the primary key of the affected row, the operation kind and the new
+column values (for inserts and updates).  Certification only needs the
+*identity* of modified items — two writesets conflict when they touch the
+same ``(table, key)`` pair — while replication needs the values so remote
+replicas can re-apply the modification without re-executing SQL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+class WriteOp(str, enum.Enum):
+    """Kind of modification captured by a write item."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class WriteItem:
+    """A single modified row.
+
+    ``table`` and ``key`` identify the row (the paper's "table and field
+    identifiers"); ``op`` records whether the row was inserted, updated or
+    deleted; ``values`` holds the new column values (empty for deletes).
+    """
+
+    table: str
+    key: object
+    op: WriteOp = WriteOp.UPDATE
+    values: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def item_id(self) -> tuple[str, object]:
+        """The identity used for write-write conflict detection."""
+        return (self.table, self.key)
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of this item (used by the network model)."""
+        size = len(self.table) + 8
+        for column, value in self.values.items():
+            size += len(column) + len(str(value))
+        return size
+
+
+class WriteSet:
+    """An ordered collection of :class:`WriteItem` with fast intersection.
+
+    The order of items is preserved because remote writesets must be applied
+    in the order the original transaction produced them (later writes to the
+    same row overwrite earlier ones).  The set of item identities is
+    maintained alongside to make the certification intersection test O(min).
+    """
+
+    __slots__ = ("_items", "_item_ids")
+
+    def __init__(self, items: Iterable[WriteItem] = ()) -> None:
+        self._items: list[WriteItem] = []
+        self._item_ids: set[tuple[str, object]] = set()
+        for item in items:
+            self.add(item)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, item: WriteItem) -> None:
+        """Append ``item`` to the writeset."""
+        self._items.append(item)
+        self._item_ids.add(item.item_id)
+
+    def add_update(self, table: str, key: object, **values: object) -> None:
+        """Convenience helper to append an UPDATE item."""
+        self.add(WriteItem(table=table, key=key, op=WriteOp.UPDATE, values=values))
+
+    def add_insert(self, table: str, key: object, **values: object) -> None:
+        """Convenience helper to append an INSERT item."""
+        self.add(WriteItem(table=table, key=key, op=WriteOp.INSERT, values=values))
+
+    def add_delete(self, table: str, key: object) -> None:
+        """Convenience helper to append a DELETE item."""
+        self.add(WriteItem(table=table, key=key, op=WriteOp.DELETE))
+
+    def merge(self, other: "WriteSet") -> None:
+        """Append all items of ``other`` (used when grouping remote writesets)."""
+        for item in other:
+            self.add(item)
+
+    @classmethod
+    def union(cls, writesets: Iterable["WriteSet"]) -> "WriteSet":
+        """Combine several writesets into one (the paper's T1_2_3 grouping)."""
+        combined = cls()
+        for writeset in writesets:
+            combined.merge(writeset)
+        return combined
+
+    # -- interrogation -----------------------------------------------------
+
+    @property
+    def item_ids(self) -> frozenset[tuple[str, object]]:
+        """The identities of all modified rows."""
+        return frozenset(self._item_ids)
+
+    def is_empty(self) -> bool:
+        """True when the transaction was read-only."""
+        return not self._items
+
+    def conflicts_with(self, other: "WriteSet") -> bool:
+        """Write-write conflict test: do the two writesets overlap?"""
+        if len(self._item_ids) > len(other._item_ids):
+            return other.conflicts_with(self)
+        return any(item_id in other._item_ids for item_id in self._item_ids)
+
+    def conflicting_items(self, other: "WriteSet") -> frozenset[tuple[str, object]]:
+        """The identities in common between the two writesets."""
+        return frozenset(self._item_ids & other._item_ids)
+
+    def touches(self, table: str, key: object) -> bool:
+        """True when the writeset modifies the row ``(table, key)``."""
+        return (table, key) in self._item_ids
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of the writeset."""
+        return sum(item.size_bytes() for item in self._items) or 0
+
+    def tables(self) -> frozenset[str]:
+        """All tables touched by the writeset."""
+        return frozenset(item.table for item in self._items)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[WriteItem]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WriteSet):
+            return NotImplemented
+        return self._items == other._items
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{item.table}:{item.key}" for item in self._items[:4])
+        suffix = ", ..." if len(self._items) > 4 else ""
+        return f"WriteSet([{preview}{suffix}], n={len(self._items)})"
+
+
+def make_writeset(entries: Iterable[tuple[str, object]]) -> WriteSet:
+    """Build a writeset of UPDATE items from ``(table, key)`` pairs.
+
+    This is the compact form used by the simulator and by many tests, where
+    only conflict identity matters and the concrete column values do not.
+    """
+    writeset = WriteSet()
+    for table, key in entries:
+        writeset.add_update(table, key)
+    return writeset

@@ -1,0 +1,39 @@
+"""A from-scratch snapshot-isolation MVCC storage engine.
+
+This package plays the role PostgreSQL plays in the paper: a standalone
+multi-version database offering snapshot isolation, write locks with
+first-updater-wins conflict handling, a write-ahead log with group commit, a
+switch to enable or disable synchronous commit writes, writeset-extraction
+hooks (the equivalent of the paper's triggers), an ordered-commit API
+(``COMMIT <version>``, the paper's 20-line PostgreSQL patch), checkpoint
+dumps and crash recovery.
+"""
+
+from repro.engine.database import Database, IsolationError
+from repro.engine.locks import LockBlockedError, LockManager, LockStatus
+from repro.engine.log_device import CountingLogDevice, FileLogDevice, LogDevice
+from repro.engine.rows import RowVersion, VersionedRow
+from repro.engine.table import Table, TableSchema
+from repro.engine.transaction import EngineTransaction, TransactionStatus
+from repro.engine.wal import WalRecord, WriteAheadLog
+from repro.engine.checkpoint import Checkpoint
+
+__all__ = [
+    "Checkpoint",
+    "CountingLogDevice",
+    "Database",
+    "EngineTransaction",
+    "FileLogDevice",
+    "IsolationError",
+    "LockBlockedError",
+    "LockManager",
+    "LockStatus",
+    "LogDevice",
+    "RowVersion",
+    "Table",
+    "TableSchema",
+    "TransactionStatus",
+    "VersionedRow",
+    "WalRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,133 @@
+"""Database checkpoints (the paper's "DUMP DATA" copies).
+
+Tashkent-MW disables the replica's synchronous WAL writes, which on
+PostgreSQL voids physical data integrity as well as durability.  The
+middleware therefore periodically asks the database for a complete copy and
+records the database version at the point of the request (paper, Sections
+7.1 and 8.1).  A :class:`Checkpoint` is that copy: the schemas plus a
+materialised snapshot of every replicated table at a known version, together
+with an end marker and checksum so a partially written dump can be detected
+and the previous one used instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.engine.table import Table, TableSchema
+from repro.errors import RecoveryError
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A complete, self-validating copy of the database at one version."""
+
+    database_name: str
+    version: int
+    schemas: tuple[TableSchema, ...]
+    #: table name -> {primary key -> row values}
+    table_states: Mapping[str, Mapping[object, Mapping[str, object]]]
+    checksum: str = ""
+    complete: bool = True
+
+    @staticmethod
+    def _compute_checksum(database_name: str, version: int,
+                          table_states: Mapping[str, Mapping[object, Mapping[str, object]]]) -> str:
+        canonical = json.dumps(
+            {
+                "database": database_name,
+                "version": version,
+                "tables": {
+                    table: {repr(key): dict(values) for key, values in rows.items()}
+                    for table, rows in sorted(table_states.items())
+                },
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def capture(cls, database_name: str, version: int, tables: Mapping[str, Table]) -> "Checkpoint":
+        """Capture a checkpoint of ``tables`` at ``version``."""
+        schemas = tuple(table.schema for table in tables.values())
+        states = {
+            name: table.snapshot_state(version) for name, table in tables.items()
+        }
+        checksum = cls._compute_checksum(database_name, version, states)
+        return cls(
+            database_name=database_name,
+            version=version,
+            schemas=schemas,
+            table_states=states,
+            checksum=checksum,
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`RecoveryError` when the dump is truncated or corrupt."""
+        if not self.complete:
+            raise RecoveryError(
+                f"checkpoint of {self.database_name!r} at version {self.version} is incomplete"
+            )
+        expected = self._compute_checksum(self.database_name, self.version, self.table_states)
+        if expected != self.checksum:
+            raise RecoveryError(
+                f"checkpoint of {self.database_name!r} at version {self.version} failed its checksum"
+            )
+
+    def corrupted_copy(self) -> "Checkpoint":
+        """A deliberately broken copy (crash-during-dump injection in tests)."""
+        return Checkpoint(
+            database_name=self.database_name,
+            version=self.version,
+            schemas=self.schemas,
+            table_states=self.table_states,
+            checksum=self.checksum,
+            complete=False,
+        )
+
+    def row_count(self) -> int:
+        return sum(len(rows) for rows in self.table_states.values())
+
+    def size_bytes(self) -> int:
+        """Approximate size of the dump (drives the recovery-time model)."""
+        total = 0
+        for rows in self.table_states.values():
+            for values in rows.values():
+                total += 16 + sum(len(str(v)) + len(str(c)) for c, v in values.items())
+        return total
+
+
+@dataclass
+class CheckpointStore:
+    """Keeps the last two checkpoints, as Tashkent-MW requires.
+
+    "The Tashkent-MW middleware maintains two complete copies of the
+    database.  If the database crashes, the middleware restarts the database
+    with the last copy, or the second to last copy (in the case where the
+    database crashed while dumping the last copy)."  (paper, Section 7.1)
+    """
+
+    checkpoints: list[Checkpoint] = field(default_factory=list)
+    max_copies: int = 2
+
+    def add(self, checkpoint: Checkpoint) -> None:
+        self.checkpoints.append(checkpoint)
+        if len(self.checkpoints) > self.max_copies:
+            del self.checkpoints[: len(self.checkpoints) - self.max_copies]
+
+    def latest_valid(self) -> Checkpoint:
+        """Most recent checkpoint that passes validation."""
+        for checkpoint in reversed(self.checkpoints):
+            try:
+                checkpoint.validate()
+            except RecoveryError:
+                continue
+            return checkpoint
+        raise RecoveryError("no valid checkpoint available for recovery")
+
+    def __len__(self) -> int:
+        return len(self.checkpoints)

@@ -1,0 +1,181 @@
+"""Write locks with first-updater-wins semantics and deadlock detection.
+
+PostgreSQL (and other centralized SI databases) "uses write locks to eagerly
+test for write-write conflicts during transaction execution rather than at
+commit time" (paper, Section 8.2).  The first transaction to write a row
+holds the lock; competitors wait.  If the holder commits, waiting competitors
+must abort (first-updater-wins); if the holder aborts, one competitor may
+proceed.  Waiting can produce deadlocks, which the lock manager detects by
+searching the wait-for graph and aborting the requester that would close a
+cycle.
+
+The engine is single-threaded, so "waiting" is surfaced to the caller as
+:class:`LockBlockedError` carrying the holder's identity.  Callers that can
+wait (the middleware proxy, the simulator) decide what to do: the proxy, for
+instance, aborts a local transaction that blocks a certified remote writeset
+(the paper's priority rule).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, ReproError
+
+
+class LockStatus(str, enum.Enum):
+    """Result of a lock acquisition attempt."""
+
+    GRANTED = "granted"
+    ALREADY_HELD = "already-held"
+    BLOCKED = "blocked"
+
+
+class LockBlockedError(ReproError):
+    """The requested row is write-locked by another active transaction."""
+
+    def __init__(self, item: tuple[str, object], holder: int, requester: int) -> None:
+        super().__init__(
+            f"transaction {requester} blocked on {item!r} held by transaction {holder}"
+        )
+        self.item = item
+        self.holder = holder
+        self.requester = requester
+
+
+@dataclass
+class _LockEntry:
+    holder: int
+    waiters: list[int] = field(default_factory=list)
+
+
+class LockManager:
+    """Tracks write locks on ``(table, key)`` items for active transactions."""
+
+    def __init__(self) -> None:
+        self._locks: dict[tuple[str, object], _LockEntry] = {}
+        self._held_by_txn: dict[int, set[tuple[str, object]]] = {}
+        self._waiting_for: dict[int, tuple[str, object]] = {}
+        self.deadlocks_detected = 0
+
+    # -- acquisition -----------------------------------------------------------
+
+    def try_acquire(self, txn_id: int, item: tuple[str, object]) -> LockStatus:
+        """Attempt to acquire the write lock on ``item`` for ``txn_id``.
+
+        Returns GRANTED or ALREADY_HELD on success.  If another transaction
+        holds the lock the requester is registered as a waiter and the method
+        raises either :class:`DeadlockError` (when waiting would close a
+        cycle in the wait-for graph — the requester is the victim) or
+        :class:`LockBlockedError`.
+        """
+        entry = self._locks.get(item)
+        if entry is None:
+            self._locks[item] = _LockEntry(holder=txn_id)
+            self._held_by_txn.setdefault(txn_id, set()).add(item)
+            return LockStatus.GRANTED
+        if entry.holder == txn_id:
+            return LockStatus.ALREADY_HELD
+
+        # Deadlock check: would waiting on entry.holder create a cycle?
+        if self._would_deadlock(waiter=txn_id, holder=entry.holder):
+            self.deadlocks_detected += 1
+            raise DeadlockError(
+                f"transaction {txn_id} waiting on {item!r} (held by {entry.holder}) "
+                "would create a wait-for cycle"
+            )
+        if txn_id not in entry.waiters:
+            entry.waiters.append(txn_id)
+        self._waiting_for[txn_id] = item
+        raise LockBlockedError(item=item, holder=entry.holder, requester=txn_id)
+
+    def holds(self, txn_id: int, item: tuple[str, object]) -> bool:
+        entry = self._locks.get(item)
+        return entry is not None and entry.holder == txn_id
+
+    def holder_of(self, item: tuple[str, object]) -> int | None:
+        entry = self._locks.get(item)
+        return None if entry is None else entry.holder
+
+    def locks_held_by(self, txn_id: int) -> frozenset[tuple[str, object]]:
+        return frozenset(self._held_by_txn.get(txn_id, set()))
+
+    # -- release ----------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> list[tuple[tuple[str, object], int]]:
+        """Release every lock held by ``txn_id`` (commit or abort).
+
+        Returns a list of ``(item, new_holder)`` pairs for locks that were
+        handed to the first waiter in queue.  The caller is responsible for
+        telling the promoted transactions whether the previous holder
+        committed (in which case SI requires them to abort) or aborted (in
+        which case they may proceed).
+        """
+        promotions: list[tuple[tuple[str, object], int]] = []
+        for item in self._held_by_txn.pop(txn_id, set()):
+            entry = self._locks.get(item)
+            if entry is None or entry.holder != txn_id:
+                continue
+            # Drop the requester from any wait queue bookkeeping first.
+            while entry.waiters:
+                next_holder = entry.waiters.pop(0)
+                self._waiting_for.pop(next_holder, None)
+                entry.holder = next_holder
+                self._held_by_txn.setdefault(next_holder, set()).add(item)
+                promotions.append((item, next_holder))
+                break
+            else:
+                del self._locks[item]
+        # The transaction can no longer be waiting on anything.
+        self._cancel_wait(txn_id)
+        return promotions
+
+    def _cancel_wait(self, txn_id: int) -> None:
+        item = self._waiting_for.pop(txn_id, None)
+        if item is None:
+            return
+        entry = self._locks.get(item)
+        if entry is not None and txn_id in entry.waiters:
+            entry.waiters.remove(txn_id)
+
+    def cancel_wait(self, txn_id: int) -> None:
+        """Public wrapper: forget that ``txn_id`` was waiting (it aborted)."""
+        self._cancel_wait(txn_id)
+
+    # -- deadlock detection -------------------------------------------------------
+
+    def _would_deadlock(self, waiter: int, holder: int) -> bool:
+        """True when ``waiter -> holder`` plus existing edges forms a cycle."""
+        seen: set[int] = set()
+        current: int | None = holder
+        while current is not None:
+            if current == waiter:
+                return True
+            if current in seen:
+                return False
+            seen.add(current)
+            blocked_on = self._waiting_for.get(current)
+            if blocked_on is None:
+                return False
+            entry = self._locks.get(blocked_on)
+            current = entry.holder if entry is not None else None
+        return False
+
+    def wait_for_graph(self) -> dict[int, int]:
+        """The current wait-for edges ``waiter -> holder`` (diagnostics)."""
+        graph: dict[int, int] = {}
+        for waiter, item in self._waiting_for.items():
+            entry = self._locks.get(item)
+            if entry is not None:
+                graph[waiter] = entry.holder
+        return graph
+
+    def active_lock_count(self) -> int:
+        return len(self._locks)
+
+    def __repr__(self) -> str:
+        return (
+            f"LockManager(locks={len(self._locks)}, "
+            f"waiters={len(self._waiting_for)})"
+        )

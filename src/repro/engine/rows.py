@@ -1,0 +1,145 @@
+"""Multi-version row storage.
+
+Every row is a chain of :class:`RowVersion` objects.  A version is visible to
+a transaction whose snapshot version is ``s`` when it was created at or
+before ``s`` and either never deleted or deleted strictly after ``s``.  This
+is the standard SI visibility rule and is what lets read-only transactions
+run against an immutable snapshot while update transactions commit new
+versions concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class RowVersion:
+    """One immutable version of a row.
+
+    ``created_version`` is the database version whose commit created this
+    row image; ``deleted_version`` is the version whose commit deleted or
+    superseded it (``None`` while the version is live).
+    """
+
+    created_version: int
+    values: Mapping[str, object]
+    deleted_version: int | None = None
+
+    def visible_to(self, snapshot_version: int) -> bool:
+        """SI visibility: created at/before the snapshot, not yet deleted then."""
+        if self.created_version > snapshot_version:
+            return False
+        if self.deleted_version is None:
+            return True
+        return self.deleted_version > snapshot_version
+
+    def with_deletion(self, deleted_version: int) -> "RowVersion":
+        """Return a copy of this version marked as superseded."""
+        if self.deleted_version is not None:
+            raise StorageError("row version already superseded")
+        return RowVersion(
+            created_version=self.created_version,
+            values=self.values,
+            deleted_version=deleted_version,
+        )
+
+
+class VersionedRow:
+    """The full version chain for one primary key.
+
+    Versions are kept newest-first so snapshot lookups usually terminate on
+    the first element.  The chain never loses history during normal
+    operation; garbage collection of versions no snapshot can see is exposed
+    separately (:meth:`vacuum`) because the replication middleware relies on
+    old snapshots staying readable while remote writesets are applied.
+    """
+
+    __slots__ = ("key", "_versions")
+
+    def __init__(self, key: object) -> None:
+        self.key = key
+        self._versions: list[RowVersion] = []
+
+    # -- mutation (called with the table's commit version) -------------------
+
+    def install(self, version: RowVersion) -> None:
+        """Install a new committed version, superseding the current head."""
+        if self._versions:
+            head = self._versions[0]
+            if head.deleted_version is None:
+                if version.created_version <= head.created_version:
+                    raise StorageError(
+                        "new row version must be newer than the current head"
+                    )
+                self._versions[0] = head.with_deletion(version.created_version)
+        self._versions.insert(0, version)
+
+    def delete(self, deleted_version: int) -> None:
+        """Mark the current head as deleted at ``deleted_version``."""
+        if not self._versions:
+            raise StorageError(f"cannot delete non-existent row {self.key!r}")
+        head = self._versions[0]
+        if head.deleted_version is not None:
+            raise StorageError(f"row {self.key!r} already deleted")
+        self._versions[0] = head.with_deletion(deleted_version)
+
+    # -- reads ---------------------------------------------------------------
+
+    def version_for_snapshot(self, snapshot_version: int) -> RowVersion | None:
+        """The version visible to ``snapshot_version``, or ``None``."""
+        for version in self._versions:
+            if version.visible_to(snapshot_version):
+                return version
+        return None
+
+    def latest(self) -> RowVersion | None:
+        """The newest committed version regardless of deletion."""
+        return self._versions[0] if self._versions else None
+
+    def exists_at(self, snapshot_version: int) -> bool:
+        return self.version_for_snapshot(snapshot_version) is not None
+
+    @property
+    def last_modified_version(self) -> int:
+        """The commit version that last touched this row (0 if never)."""
+        if not self._versions:
+            return 0
+        head = self._versions[0]
+        if head.deleted_version is not None:
+            return head.deleted_version
+        return head.created_version
+
+    def history(self) -> Iterator[RowVersion]:
+        """Iterate versions newest-first (diagnostics and tests)."""
+        return iter(self._versions)
+
+    def version_count(self) -> int:
+        return len(self._versions)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def vacuum(self, oldest_active_snapshot: int) -> int:
+        """Drop versions invisible to every snapshot >= ``oldest_active_snapshot``.
+
+        Returns the number of versions removed.  The newest visible version
+        is always retained.
+        """
+        keep: list[RowVersion] = []
+        removed = 0
+        found_visible = False
+        for version in self._versions:
+            if not found_visible:
+                keep.append(version)
+                if version.visible_to(oldest_active_snapshot):
+                    found_visible = True
+            else:
+                removed += 1
+        self._versions = keep
+        return removed
+
+    def __repr__(self) -> str:
+        return f"VersionedRow(key={self.key!r}, versions={len(self._versions)})"

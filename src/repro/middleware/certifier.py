@@ -1,0 +1,139 @@
+"""The certifier service.
+
+Wraps the pure certification logic of :class:`repro.core.certification.Certifier`
+with the two responsibilities the paper gives the certifier process:
+
+* a **persistent log** — every certified writeset is written to a log device
+  and (when durability is enabled) made durable before the commit decision is
+  released to the replica.  The single log-writer design means all writesets
+  pending at flush time share one synchronous write; the resulting
+  writesets-per-fsync statistic is the paper's key explanation of
+  Tashkent-MW's scalability.
+* **forced aborts** — the abort-injection knob used by the Section 9.5
+  experiment, driven by a deterministic RNG.
+
+The functional path in this module is synchronous (a certification request
+returns only once the decision is durable).  The simulated certifier node in
+:mod:`repro.cluster.certifier_node` reuses the same :class:`CertifierService`
+but overlaps many requests against one flush, which is where batching pays
+off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.certification import (
+    CertificationRequest,
+    CertificationResult,
+    Certifier,
+    RemoteWriteSetInfo,
+)
+from repro.core.certifier_log import CertifierLog
+from repro.core.group_commit import GroupCommitBatcher
+from repro.engine.log_device import CountingLogDevice, LogDevice
+
+
+@dataclass
+class CertifierConfig:
+    """Behavioural switches of the certifier service."""
+
+    #: Write the certification log to the log device on the critical path.
+    durability_enabled: bool = True
+    #: Fraction of successfully certified requests aborted anyway (§9.5).
+    forced_abort_rate: float = 0.0
+    rng_seed: int = 1
+
+
+class CertifierService:
+    """A single certifier node (the leader of the certifier group)."""
+
+    def __init__(
+        self,
+        config: CertifierConfig | None = None,
+        *,
+        log_device: LogDevice | None = None,
+        log: CertifierLog | None = None,
+    ) -> None:
+        self.config = config if config is not None else CertifierConfig()
+        self.device: LogDevice = log_device if log_device is not None else CountingLogDevice()
+        self._rng = random.Random(self.config.rng_seed)
+        self.core = Certifier(
+            log,
+            forced_abort_rate=self.config.forced_abort_rate,
+            abort_chooser=self._rng.random,
+        )
+        self._batcher: GroupCommitBatcher[int] = GroupCommitBatcher()
+
+    # -- main request path ------------------------------------------------------
+
+    def certify(self, request: CertificationRequest) -> CertificationResult:
+        """Certify a transaction and (if enabled) make the decision durable."""
+        result = self.core.certify(request)
+        if result.committed and result.tx_commit_version is not None:
+            self._batcher.enqueue(result.tx_commit_version)
+            if self.config.durability_enabled:
+                self.flush()
+        return result
+
+    def fetch_remote_writesets(self, replica_version: int,
+                               check_back_to: int | None = None) -> list[RemoteWriteSetInfo]:
+        """Serve a bounded-staleness refresh request (no certification)."""
+        return self.core.fetch_remote_writesets(replica_version, check_back_to)
+
+    # -- durability ---------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Flush all pending log records with one synchronous write.
+
+        Returns the number of records made durable.  Called automatically on
+        the certification path when durability is enabled; the simulated
+        certifier calls it from its log-writer loop instead.
+        """
+        if not self._batcher.has_pending:
+            return 0
+        batch = self._batcher.take_batch()
+        for commit_version in batch:
+            record = self.core.log.record_at(commit_version)
+            self.device.append(record.writeset.size_bytes().to_bytes(4, "big"))
+        self.device.sync()
+        self._batcher.complete_batch()
+        self.core.log.mark_durable(max(batch))
+        return len(batch)
+
+    # -- statistics ------------------------------------------------------------------
+
+    @property
+    def fsync_count(self) -> int:
+        return self.device.sync_count
+
+    @property
+    def writesets_per_fsync(self) -> float:
+        """Average number of certified writesets per synchronous log write."""
+        return self._batcher.stats.average_batch_size
+
+    @property
+    def system_version(self) -> int:
+        return self.core.system_version.version
+
+    @property
+    def log(self) -> CertifierLog:
+        return self.core.log
+
+    def stats(self) -> dict[str, float]:
+        stats = self.core.stats()
+        stats.update(
+            {
+                "fsyncs": float(self.fsync_count),
+                "writesets_per_fsync": self.writesets_per_fsync,
+                "durable_version": float(self.core.log.durable_version),
+            }
+        )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"CertifierService(version={self.system_version}, "
+            f"durable={self.core.log.durable_version}, fsyncs={self.fsync_count})"
+        )

@@ -1,0 +1,432 @@
+"""The transparent proxy.
+
+A proxy sits in front of every database replica, "appears as the database to
+clients, and appears as a client to the database" (paper, Section 4.1).  It
+tracks ``replica_version``, keeps a small amount of state per active
+transaction, invokes certification at commit, applies remote writesets, and
+enforces the global commit order at the replica.
+
+The three system variants differ only in how step [C4]/[C5] of the paper's
+pseudo-code is executed:
+
+* **Base** — remote writesets are applied and the local transaction is
+  committed serially; every commit is a synchronous WAL write at the replica.
+* **Tashkent-MW** — identical control flow, but the replica database runs
+  with synchronous commit disabled, so the serial commits are in-memory
+  operations; durability lives in the certifier's log.
+* **Tashkent-API** — remote writesets and the local commit are staged with
+  ``COMMIT <version>`` and flushed in as few synchronous writes as the
+  artificial-conflict structure permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.artificial_conflicts import ArtificialConflictDetector, SubmissionPlan
+from repro.core.certification import CertificationRequest, CertificationResult, RemoteWriteSetInfo
+from repro.core.config import SystemKind
+from repro.core.versions import TransactionVersions, VersionClock
+from repro.core.writeset import WriteSet
+from repro.engine.database import Database
+from repro.engine.transaction import EngineTransaction, TransactionStatus
+from repro.errors import CertificationAborted, InvalidTransactionState, TransactionAborted
+from repro.middleware.certifier import CertifierService
+
+
+@dataclass
+class ProxyTransaction:
+    """Proxy-side state for one client transaction."""
+
+    engine_txn: EngineTransaction
+    versions: TransactionVersions
+    label: str = ""
+
+    @property
+    def tx_start_version(self) -> int:
+        return self.versions.tx_start_version
+
+    @property
+    def is_active(self) -> bool:
+        return self.engine_txn.status is TransactionStatus.ACTIVE
+
+
+@dataclass
+class CommitOutcome:
+    """What the client learns when it asks the proxy to commit."""
+
+    committed: bool
+    readonly: bool = False
+    commit_version: int | None = None
+    abort_reason: str | None = None
+    remote_writesets_applied: int = 0
+    #: Synchronous writes at the replica attributable to this commit.
+    replica_fsyncs: int = 0
+
+
+@dataclass
+class ProxyStats:
+    """Counters the evaluation and the tests read off a proxy."""
+
+    begun: int = 0
+    readonly_commits: int = 0
+    update_commits: int = 0
+    certification_aborts: int = 0
+    local_certification_aborts: int = 0
+    eager_precert_aborts: int = 0
+    remote_writesets_applied: int = 0
+    remote_batches_applied: int = 0
+    artificial_conflicts: int = 0
+    staleness_refreshes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class TransparentProxy:
+    """The replication proxy attached to one database replica."""
+
+    def __init__(
+        self,
+        database: Database,
+        certifier: CertifierService,
+        *,
+        system: SystemKind = SystemKind.TASHKENT_MW,
+        replica_name: str = "replica-0",
+        local_certification: bool = True,
+        eager_pre_certification: bool = True,
+    ) -> None:
+        if system is SystemKind.STANDALONE:
+            raise InvalidTransactionState("a standalone database has no proxy")
+        self.database = database
+        self.certifier = certifier
+        self.system = system
+        self.replica_name = replica_name
+        self.local_certification = local_certification
+        self.eager_pre_certification = eager_pre_certification
+        self.replica_version = VersionClock(database.current_version)
+        #: The proxy's local copy of remote writesets seen so far, used for
+        #: local certification (paper calls this the ``proxy_log``).
+        self.proxy_log: list[tuple[int, WriteSet]] = []
+        self.conflict_detector = ArtificialConflictDetector()
+        self.stats = ProxyStats()
+        # Tashkent-MW replicas run without synchronous commit at the database.
+        if system is SystemKind.TASHKENT_MW:
+            self.database.set_synchronous_commit(False)
+
+    # ------------------------------------------------------------------ BEGIN
+
+    def begin(self, label: str = "") -> ProxyTransaction:
+        """Intercept BEGIN: assign the replica's latest snapshot (step [A1])."""
+        engine_txn = self.database.begin()
+        versions = TransactionVersions(tx_start_version=self.replica_version.version)
+        self.stats.begun += 1
+        return ProxyTransaction(engine_txn=engine_txn, versions=versions, label=label)
+
+    # ------------------------------------------------------------------ reads / writes
+
+    def read(self, txn: ProxyTransaction, table: str, key: object):
+        """Forward a read to the database (step [B1])."""
+        self._require_live(txn)
+        return self.database.read(txn.engine_txn, table, key)
+
+    def scan(self, txn: ProxyTransaction, table: str):
+        self._require_live(txn)
+        return self.database.scan(txn.engine_txn, table)
+
+    def insert(self, txn: ProxyTransaction, table: str, key: object, **values: object) -> None:
+        self._require_live(txn)
+        self._eager_pre_certify(txn, table, key)
+        self.database.insert(txn.engine_txn, table, key, **values)
+
+    def update(self, txn: ProxyTransaction, table: str, key: object, **values: object) -> None:
+        self._require_live(txn)
+        self._eager_pre_certify(txn, table, key)
+        self.database.update(txn.engine_txn, table, key, **values)
+
+    def delete(self, txn: ProxyTransaction, table: str, key: object) -> None:
+        self._require_live(txn)
+        self._eager_pre_certify(txn, table, key)
+        self.database.delete(txn.engine_txn, table, key)
+
+    def _eager_pre_certify(self, txn: ProxyTransaction, table: str, key: object) -> None:
+        """Abort early if this write already conflicts with a seen remote writeset.
+
+        This is the paper's eager pre-certification (Section 8.2): each write
+        is checked against the remote writesets committed after the
+        transaction's snapshot; a conflict means certification would fail
+        anyway, so the transaction aborts immediately, freeing its locks.
+        """
+        if not self.eager_pre_certification:
+            return
+        for commit_version, writeset in self.proxy_log:
+            if commit_version <= txn.versions.effective_start_version:
+                continue
+            if writeset.touches(table, key):
+                self.database.abort(txn.engine_txn, reason="eager-pre-certification")
+                self.stats.eager_precert_aborts += 1
+                raise CertificationAborted(
+                    f"write to {(table, key)!r} conflicts with remote writeset "
+                    f"committed at version {commit_version}"
+                )
+
+    # ------------------------------------------------------------------ COMMIT
+
+    def commit(self, txn: ProxyTransaction) -> CommitOutcome:
+        """Intercept COMMIT (steps [C1]-[C5] of the paper's pseudo-code)."""
+        self._require_live(txn)
+        fsyncs_before = self.database.fsync_count
+
+        # [C1] extract the writeset.
+        writeset = self.database.extract_writeset(txn.engine_txn)
+
+        # [C2] read-only transactions commit immediately.
+        if writeset.is_empty():
+            self.database.commit(txn.engine_txn)
+            self.stats.readonly_commits += 1
+            return CommitOutcome(committed=True, readonly=True)
+
+        # Local certification (Section 6.2): check against remote writesets
+        # already seen, advancing the effective start version as we go.
+        if self.local_certification and not self._locally_certify(txn, writeset):
+            self.database.abort(txn.engine_txn, reason="local-certification")
+            self.stats.local_certification_aborts += 1
+            self.stats.certification_aborts += 1
+            return CommitOutcome(committed=False, abort_reason="local-certification")
+
+        # [C2 cont.] invoke certification at the certifier.
+        request = CertificationRequest(
+            tx_start_version=txn.versions.effective_start_version,
+            writeset=writeset,
+            replica_version=self.replica_version.version,
+            origin_replica=self.replica_name,
+            check_remote_back_to=(
+                self.replica_version.version if self.system.supports_ordered_commit else None
+            ),
+        )
+        result = self.certifier.certify(request)
+
+        # [C3]/[C4]/[C5] apply remote writesets and finalise the commit.
+        if self.system.supports_ordered_commit:
+            outcome = self._finalize_ordered(txn, writeset, result)
+        else:
+            outcome = self._finalize_serial(txn, writeset, result)
+        outcome.replica_fsyncs = self.database.fsync_count - fsyncs_before
+        return outcome
+
+    def abort(self, txn: ProxyTransaction) -> None:
+        """Client-requested abort."""
+        if txn.engine_txn.status is TransactionStatus.ACTIVE:
+            self.database.abort(txn.engine_txn, reason="client-abort")
+
+    # ------------------------------------------------------------------ serial path (Base, Tashkent-MW)
+
+    def _finalize_serial(self, txn: ProxyTransaction, writeset: WriteSet,
+                         result: CertificationResult) -> CommitOutcome:
+        """Steps [C4]+[C5] with serial commits (Base and Tashkent-MW).
+
+        The grouped remote writesets commit first (one database commit, hence
+        one synchronous write when durability is in the database), then the
+        local transaction commits (a second synchronous write).
+        """
+        applied = self._apply_remote_serial(result.remote_writesets)
+
+        if not result.committed:
+            self.database.abort(txn.engine_txn, reason="certification")
+            self.stats.certification_aborts += 1
+            return CommitOutcome(
+                committed=False,
+                abort_reason="forced-abort" if result.forced_abort else "certification",
+                remote_writesets_applied=applied,
+            )
+
+        commit_version = result.tx_commit_version
+        assert commit_version is not None
+        if txn.engine_txn.status is not TransactionStatus.ACTIVE:
+            # The local transaction lost its locks to a remote writeset while
+            # we were waiting for certification (priority rule).  The paper's
+            # soft-recovery path re-applies it; here we surface the abort.
+            self.stats.certification_aborts += 1
+            return CommitOutcome(committed=False, abort_reason="soft-recovery",
+                                 remote_writesets_applied=applied)
+        self.database.commit(txn.engine_txn, version=commit_version)
+        txn.versions.mark_committed(commit_version)
+        self.proxy_log.append((commit_version, writeset))
+        self.replica_version.advance_to(commit_version)
+        self.stats.update_commits += 1
+        return CommitOutcome(
+            committed=True,
+            commit_version=commit_version,
+            remote_writesets_applied=applied,
+        )
+
+    def _apply_remote_serial(self, remote: list[RemoteWriteSetInfo]) -> int:
+        """Apply remote writesets grouped into a single transaction ([C4])."""
+        pending = [info for info in remote
+                   if info.commit_version > self.replica_version.version]
+        if not pending:
+            return 0
+        max_version = max(info.commit_version for info in pending)
+        self.database.apply_writesets_grouped(
+            (info.writeset for info in pending), version=max_version
+        )
+        for info in pending:
+            self.proxy_log.append((info.commit_version, info.writeset))
+        self.replica_version.advance_to(max_version)
+        self.stats.remote_writesets_applied += len(pending)
+        self.stats.remote_batches_applied += 1
+        return len(pending)
+
+    # ------------------------------------------------------------------ ordered path (Tashkent-API)
+
+    def _finalize_ordered(self, txn: ProxyTransaction, writeset: WriteSet,
+                          result: CertificationResult) -> CommitOutcome:
+        """Steps [C4]+[C5] using the extended COMMIT <version> API.
+
+        Remote writesets and the local commit are staged concurrently; the
+        database groups their commit records into one flush per
+        artificial-conflict-free group (Section 5.2.1).
+        """
+        pending = [info for info in result.remote_writesets
+                   if info.commit_version > self.replica_version.version]
+        plan = self.conflict_detector.plan(pending, self.replica_version.version)
+        self.stats.artificial_conflicts += plan.artificial_conflicts
+
+        if not result.committed:
+            # Still apply the remote writesets so the replica does not fall
+            # behind, then abort the local transaction.
+            applied = self._apply_plan(plan, local_txn=None, local_version=None)
+            self.database.abort(txn.engine_txn, reason="certification")
+            self.stats.certification_aborts += 1
+            return CommitOutcome(
+                committed=False,
+                abort_reason="forced-abort" if result.forced_abort else "certification",
+                remote_writesets_applied=applied,
+            )
+
+        commit_version = result.tx_commit_version
+        assert commit_version is not None
+        if txn.engine_txn.status is not TransactionStatus.ACTIVE:
+            applied = self._apply_plan(plan, local_txn=None, local_version=None)
+            self.stats.certification_aborts += 1
+            return CommitOutcome(committed=False, abort_reason="soft-recovery",
+                                 remote_writesets_applied=applied)
+
+        applied = self._apply_plan(plan, local_txn=txn.engine_txn, local_version=commit_version)
+        txn.versions.mark_committed(commit_version)
+        self.proxy_log.append((commit_version, writeset))
+        self.replica_version.advance_to(commit_version)
+        self.stats.update_commits += 1
+        return CommitOutcome(
+            committed=True,
+            commit_version=commit_version,
+            remote_writesets_applied=applied,
+        )
+
+    def _apply_plan(self, plan: SubmissionPlan, *, local_txn: EngineTransaction | None,
+                    local_version: int | None) -> int:
+        """Submit a submission plan to the database using ordered commits."""
+        applied = 0
+        groups = plan.groups if plan.groups else []
+        if not groups and local_txn is None:
+            return 0
+        if not groups:
+            groups = [[]]
+        last_index = len(groups) - 1
+        max_remote_version = self.replica_version.version
+        for index, group in enumerate(groups):
+            for info in group:
+                # The remote writeset runs as its own transaction whose
+                # commit carries the original global version.
+                self.database.abort_conflicting_transactions(
+                    info.writeset, reason="remote-writeset-priority"
+                )
+                remote_txn = self.database.begin()
+                self._buffer_writeset(remote_txn, info.writeset)
+                self.database.commit_ordered(remote_txn, info.commit_version)
+                self.proxy_log.append((info.commit_version, info.writeset))
+                applied += 1
+                max_remote_version = max(max_remote_version, info.commit_version)
+            if index == last_index and local_txn is not None and local_version is not None:
+                self.database.commit_ordered(local_txn, local_version)
+            # One synchronous write per group; the local commit shares the
+            # final group's flush.
+            self.database.flush_ordered_commits()
+        if applied:
+            self.stats.remote_writesets_applied += applied
+            self.stats.remote_batches_applied += 1
+            if max_remote_version > self.replica_version.version:
+                self.replica_version.advance_to(max_remote_version)
+        return applied
+
+    def _buffer_writeset(self, txn: EngineTransaction, writeset: WriteSet) -> None:
+        from repro.core.writeset import WriteOp  # local import to avoid cycle noise
+
+        for item in writeset:
+            if item.op is WriteOp.INSERT:
+                self.database.insert(txn, item.table, item.key, **dict(item.values))
+            elif item.op is WriteOp.UPDATE:
+                self.database.update(txn, item.table, item.key, **dict(item.values))
+            else:
+                self.database.delete(txn, item.table, item.key)
+
+    # ------------------------------------------------------------------ local certification
+
+    def _locally_certify(self, txn: ProxyTransaction, writeset: WriteSet) -> bool:
+        """Partial certification against the proxy's copy of remote writesets.
+
+        Advances the transaction's effective start version past every remote
+        writeset it does not conflict with, reducing the work at the
+        certifier; returns False when a conflict is found (the transaction
+        can be aborted without a round trip).
+        """
+        effective = txn.versions.effective_start_version
+        for commit_version, remote_ws in self.proxy_log:
+            if commit_version <= effective:
+                continue
+            if writeset.conflicts_with(remote_ws):
+                return False
+            if commit_version == effective + 1:
+                effective = commit_version
+        txn.versions.advance_effective_start(effective)
+        return True
+
+    # ------------------------------------------------------------------ bounded staleness
+
+    def refresh(self) -> int:
+        """Proactively pull remote writesets from the certifier (Section 6.2).
+
+        Returns the number of writesets applied.  Called by the replica when
+        it has not received updates for ``staleness_bound_ms``.
+        """
+        remote = self.certifier.fetch_remote_writesets(
+            self.replica_version.version,
+            self.replica_version.version if self.system.supports_ordered_commit else None,
+        )
+        self.stats.staleness_refreshes += 1
+        if not remote:
+            return 0
+        if self.system.supports_ordered_commit:
+            plan = self.conflict_detector.plan(remote, self.replica_version.version)
+            return self._apply_plan(plan, local_txn=None, local_version=None)
+        return self._apply_remote_serial(remote)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _require_live(self, txn: ProxyTransaction) -> None:
+        if txn.engine_txn.status is TransactionStatus.ABORTED:
+            raise TransactionAborted(
+                f"transaction {txn.engine_txn.txn_id} was aborted "
+                f"({txn.engine_txn.abort_reason})",
+                reason=txn.engine_txn.abort_reason or "abort",
+            )
+        if txn.engine_txn.status is not TransactionStatus.ACTIVE:
+            raise InvalidTransactionState(
+                f"transaction {txn.engine_txn.txn_id} is {txn.engine_txn.status.value}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TransparentProxy(replica={self.replica_name!r}, system={self.system.value}, "
+            f"replica_version={self.replica_version.version})"
+        )

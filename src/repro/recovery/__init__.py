@@ -1,0 +1,33 @@
+"""Recovery procedures and the Section 9.6 recovery-time model.
+
+* :mod:`repro.recovery.replica_recovery` — the three replica recovery paths:
+  Tashkent-MW (restore the latest valid dump, then replay remote writesets
+  from the certifier log), Base / Tashkent-API (the database's own WAL
+  recovery, then writeset replay for anything the database lost), and the
+  shared writeset-replay step.
+* :mod:`repro.recovery.certifier_recovery` — certifier crash/recovery via
+  state transfer within the replicated group.
+* :mod:`repro.recovery.timings` — the analytic recovery-time model that
+  reproduces the numbers reported in Section 9.6 (dump 230 s, restore 140 s,
+  2-4 s WAL recovery, 900 writesets/s replay, ~1 s log transfer per hour of
+  downtime).
+"""
+
+from repro.recovery.replica_recovery import (
+    RecoveryReport,
+    recover_base_replica,
+    recover_tashkent_mw_replica,
+    replay_writesets_from_certifier,
+)
+from repro.recovery.certifier_recovery import recover_certifier_node
+from repro.recovery.timings import RecoveryTimingModel, RecoveryTimings
+
+__all__ = [
+    "RecoveryReport",
+    "RecoveryTimingModel",
+    "RecoveryTimings",
+    "recover_base_replica",
+    "recover_certifier_node",
+    "recover_tashkent_mw_replica",
+    "replay_writesets_from_certifier",
+]

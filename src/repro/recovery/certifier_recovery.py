@@ -1,0 +1,38 @@
+"""Certifier crash and recovery (paper Section 7.3 / 9.6).
+
+A certifier node that recovers from a crash requests a state transfer from
+an up peer, participates in (re-)electing a leader if necessary, and resumes
+logging certification requests.  The heavy lifting lives in
+:class:`repro.consensus.group.ReplicatedCertifierGroup`; this module adds
+the recovery orchestration and reporting used by the examples and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.group import ReplicatedCertifierGroup
+
+
+@dataclass
+class CertifierRecoveryReport:
+    """Outcome of one certifier node recovery."""
+
+    node_id: int
+    entries_transferred: int
+    new_leader_id: int
+    group_has_quorum: bool
+
+
+def recover_certifier_node(group: ReplicatedCertifierGroup, node_id: int) -> CertifierRecoveryReport:
+    """Recover ``node_id``: state transfer, then leader election if needed."""
+    transferred = group.recover_node(node_id)
+    leader = group.leader_id
+    if not any(node.node_id == leader and node.up for node in group.nodes):
+        leader = group.elect_new_leader()
+    return CertifierRecoveryReport(
+        node_id=node_id,
+        entries_transferred=transferred,
+        new_leader_id=leader,
+        group_has_quorum=group.has_quorum(),
+    )

@@ -1,0 +1,111 @@
+"""The recovery-time model of Section 9.6.
+
+The paper reports concrete recovery times for the TPC-W configuration at 15
+replicas.  They all reduce to simple rate arithmetic, which this module
+captures so the recovery bench can regenerate the same table and so users
+can plug in their own parameters:
+
+* Tashkent-MW: dumping a complete copy of the ~700 MB database takes about
+  230 s (throughput on that replica degrades ~13% meanwhile); restoring from
+  the dump takes about 140 s.
+* Base / Tashkent-API: the database recovers with its own WAL redo in 2-4 s.
+* All systems: the proxy then replays missed remote writesets at about 900
+  writesets/s; with 15 replicas producing ~56 writesets/s, H hours of down
+  time need roughly 222*H seconds of replay.
+* Certifier: the log grows ~201,600 writesets/hour (~56 MB/h at 275 B each);
+  transferring it over the LAN takes about 1 s per hour of down time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RecoveryTimings:
+    """Computed recovery times (seconds) for one scenario."""
+
+    dump_seconds: float
+    restore_seconds: float
+    wal_recovery_seconds: float
+    writeset_replay_seconds: float
+    certifier_transfer_seconds: float
+
+    @property
+    def tashkent_mw_total_seconds(self) -> float:
+        """Restore from dump, then catch up by replaying writesets."""
+        return self.restore_seconds + self.writeset_replay_seconds
+
+    @property
+    def base_total_seconds(self) -> float:
+        """WAL recovery, then catch up by replaying writesets."""
+        return self.wal_recovery_seconds + self.writeset_replay_seconds
+
+
+@dataclass(frozen=True)
+class RecoveryTimingModel:
+    """Rates calibrated to the paper's measurements."""
+
+    #: Database size for the TPC-W configuration (bytes).
+    database_size_bytes: int = 700 * 1024 * 1024
+    #: Dump rate implied by "230 seconds to dump a complete copy".
+    dump_rate_bytes_per_s: float = (700 * 1024 * 1024) / 230.0
+    #: Restore rate implied by "140 seconds to restore".
+    restore_rate_bytes_per_s: float = (700 * 1024 * 1024) / 140.0
+    #: Throughput degradation while dumping (13%).
+    dump_degradation: float = 0.13
+    #: Standalone WAL recovery takes "a few seconds (2-4 seconds)".
+    wal_recovery_seconds: float = 3.0
+    #: The proxy applies batched remote writesets at 900 writesets/s.
+    writeset_apply_rate_per_s: float = 900.0
+    #: System-wide update rate at 15 replicas for TPC-W (56 writesets/s).
+    update_rate_per_s: float = 56.0
+    #: Average writeset size (TPC-W, bytes).
+    writeset_size_bytes: int = 275
+    #: LAN transfer rate for certifier state transfer (bytes/s).
+    lan_transfer_rate_bytes_per_s: float = 60 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.writeset_apply_rate_per_s <= 0 or self.update_rate_per_s < 0:
+            raise ConfigurationError("rates must be positive")
+
+    # -- individual components ---------------------------------------------------------
+
+    def dump_seconds(self, database_size_bytes: int | None = None) -> float:
+        size = self.database_size_bytes if database_size_bytes is None else database_size_bytes
+        return size / self.dump_rate_bytes_per_s
+
+    def restore_seconds(self, database_size_bytes: int | None = None) -> float:
+        size = self.database_size_bytes if database_size_bytes is None else database_size_bytes
+        return size / self.restore_rate_bytes_per_s
+
+    def writesets_missed(self, downtime_hours: float) -> int:
+        return int(self.update_rate_per_s * downtime_hours * 3600.0)
+
+    def writeset_replay_seconds(self, downtime_hours: float) -> float:
+        """≈ 222*H seconds for H hours of down time at the paper's rates."""
+        return self.writesets_missed(downtime_hours) / self.writeset_apply_rate_per_s
+
+    def certifier_log_growth_bytes_per_hour(self) -> float:
+        return self.update_rate_per_s * 3600.0 * self.writeset_size_bytes
+
+    def certifier_transfer_seconds(self, downtime_hours: float) -> float:
+        """"about 1 second ... for each hour of down time" on the paper's LAN."""
+        return (
+            self.certifier_log_growth_bytes_per_hour() * downtime_hours
+            / self.lan_transfer_rate_bytes_per_s
+        )
+
+    # -- the full table -------------------------------------------------------------------
+
+    def timings(self, *, downtime_hours: float = 1.0,
+                database_size_bytes: int | None = None) -> RecoveryTimings:
+        return RecoveryTimings(
+            dump_seconds=self.dump_seconds(database_size_bytes),
+            restore_seconds=self.restore_seconds(database_size_bytes),
+            wal_recovery_seconds=self.wal_recovery_seconds,
+            writeset_replay_seconds=self.writeset_replay_seconds(downtime_hours),
+            certifier_transfer_seconds=self.certifier_transfer_seconds(downtime_hours),
+        )

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's evaluation is dominated by IO arithmetic (how many commit
+records share one fsync) and by queueing at the replicas' CPUs and disks.
+Measuring wall-clock throughput of a pure-Python prototype would say more
+about the Python interpreter than about the protocol, so the evaluation runs
+the *real protocol code* (certification, ordering, grouping, conflict
+detection) against simulated clocks, disks, CPUs and network links.
+
+The kernel is a small generator-based simulator in the style of SimPy:
+processes are generators that ``yield`` events (timeouts, resource requests,
+other processes); the environment advances virtual time from event to event.
+Everything is deterministic given the experiment's RNG seed.
+"""
+
+from repro.sim.kernel import AllOf, Environment, Event, Process, Timeout
+from repro.sim.resources import Resource, Store
+from repro.sim.devices import CpuServer, DiskChannel, NetworkLink
+from repro.sim.metrics import MetricsCollector, TransactionRecord, UtilizationTracker
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "CpuServer",
+    "DiskChannel",
+    "Environment",
+    "Event",
+    "MetricsCollector",
+    "NetworkLink",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Store",
+    "Timeout",
+    "TransactionRecord",
+    "UtilizationTracker",
+]

@@ -1,0 +1,147 @@
+"""Device models: disk channels, CPU servers and network links.
+
+These translate the paper's hardware description (Section 9.1) into service
+time distributions:
+
+* :class:`DiskChannel` — the durability IO channel.  An fsync takes
+  ``uniform(fsync_min, fsync_max)`` (defaults 6–12 ms, mean 8 ms).  A
+  *shared* channel adds interference from database page reads and dirty-page
+  write-back, scaled by the workload's page-IO intensity; a *dedicated*
+  channel (the paper's ramdisk configuration) does not.
+* :class:`CpuServer` — a single-CPU FIFO server (the paper's machines have
+  one Xeon each).
+* :class:`NetworkLink` — the switched 1 Gbps LAN: a per-message latency plus
+  a size-proportional term and a small jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.config import DiskConfig, NetworkConfig
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Resource
+from repro.sim.rng import RandomStreams
+
+
+class DiskChannel:
+    """A FIFO disk channel serving synchronous writes (fsync calls)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: DiskConfig,
+        rng: RandomStreams,
+        *,
+        name: str = "disk",
+        page_io_interference_ms: float = 0.0,
+        sequential_log: bool = False,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.rng = rng
+        self.name = name
+        #: Extra mean delay per fsync caused by competing page IO.  Zero on a
+        #: dedicated logging channel.
+        self.page_io_interference_ms = (
+            0.0 if config.dedicated_log_channel else page_io_interference_ms
+        )
+        #: Sequential append-only logs (the certifier's) see the low end of
+        #: the seek-time distribution.
+        self.sequential_log = sequential_log
+        self.resource = Resource(env, capacity=1, name=name)
+        self.fsync_count = 0
+        self.total_service_ms = 0.0
+
+    def _service_time(self) -> float:
+        cfg = self.config
+        if self.sequential_log:
+            low, high = cfg.fsync_min_ms * 0.4, cfg.fsync_min_ms
+        else:
+            low, high = cfg.fsync_min_ms, cfg.fsync_max_ms
+        service = self.rng.uniform(f"{self.name}:fsync", low, high)
+        if self.page_io_interference_ms > 0:
+            service += self.rng.expovariate(
+                f"{self.name}:interference", self.page_io_interference_ms
+            )
+        return service
+
+    def fsync(self) -> Generator:
+        """Process fragment: wait for the channel and perform one fsync.
+
+        Usage: ``yield from disk.fsync()``.  Returns the service time.
+        """
+        service = self._service_time()
+        yield self.resource.request()
+        try:
+            yield self.env.timeout(service)
+        finally:
+            self.resource.release()
+        self.fsync_count += 1
+        self.total_service_ms += service
+        return service
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        return self.resource.utilization(elapsed)
+
+    @property
+    def mean_service_ms(self) -> float:
+        return self.total_service_ms / self.fsync_count if self.fsync_count else 0.0
+
+    def __repr__(self) -> str:
+        return f"DiskChannel(name={self.name!r}, fsyncs={self.fsync_count})"
+
+
+class CpuServer:
+    """A single-CPU FIFO server."""
+
+    def __init__(self, env: Environment, *, name: str = "cpu") -> None:
+        self.env = env
+        self.name = name
+        self.resource = Resource(env, capacity=1, name=name)
+        self.jobs = 0
+        self.total_service_ms = 0.0
+
+    def execute(self, service_ms: float) -> Generator:
+        """Process fragment: queue for the CPU and hold it for ``service_ms``."""
+        if service_ms <= 0:
+            return 0.0
+        yield self.resource.request()
+        try:
+            yield self.env.timeout(service_ms)
+        finally:
+            self.resource.release()
+        self.jobs += 1
+        self.total_service_ms += service_ms
+        return service_ms
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        return self.resource.utilization(elapsed)
+
+    def __repr__(self) -> str:
+        return f"CpuServer(name={self.name!r}, jobs={self.jobs})"
+
+
+class NetworkLink:
+    """The LAN between replicas and the certifier."""
+
+    def __init__(self, env: Environment, config: NetworkConfig, rng: RandomStreams,
+                 *, name: str = "lan") -> None:
+        self.env = env
+        self.config = config
+        self.rng = rng
+        self.name = name
+        self.messages = 0
+        self.bytes_sent = 0
+
+    def transfer(self, size_bytes: int) -> Event:
+        """An event that triggers when a message of ``size_bytes`` has arrived."""
+        delay = self.config.message_delay_ms(size_bytes)
+        if self.config.jitter_ms > 0:
+            delay += self.rng.uniform(f"{self.name}:jitter", 0.0, self.config.jitter_ms)
+        self.messages += 1
+        self.bytes_sent += size_bytes
+        return self.env.timeout(delay)
+
+    def __repr__(self) -> str:
+        return f"NetworkLink(name={self.name!r}, messages={self.messages})"

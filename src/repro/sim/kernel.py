@@ -1,0 +1,265 @@
+"""The discrete-event simulation kernel.
+
+A tiny, dependency-free, generator-based simulator:
+
+* :class:`Environment` owns virtual time (milliseconds) and the event heap.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Timeout` is an event that triggers after a fixed delay.
+* :class:`Process` wraps a generator; each ``yield`` suspends the process
+  until the yielded event triggers, and the event's value is sent back into
+  the generator.
+* :class:`AllOf` triggers once all of its child events have triggered.
+
+The kernel is deliberately small: no preemption, no event cancellation races,
+no real-time pacing.  Determinism matters more than features — two runs with
+the same seed produce identical schedules, which the reproducibility tests
+assert.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot event that callbacks and processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "_triggered", "_value", "_ok")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: object = None
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> object:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries a failure (an exception to re-raise)."""
+        return self._ok
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as a failure; waiters see the exception raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.env._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            # Already triggered: deliver on the next scheduling round so the
+            # caller observes consistent asynchronous behaviour.
+            self.env._call_soon(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        return f"{type(self).__name__}({state})"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        env._push(delay, lambda: self.succeed(value))
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered (values in order)."""
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if not event.ok:
+            if not self._triggered:
+                self.fail(event.value)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0 and not self._triggered:
+            self.succeed([child.value for child in self._children])
+
+
+class Process(Event):
+    """A running process: a generator driven by the events it yields.
+
+    The process itself is an event that triggers (with the generator's return
+    value) when the generator finishes, so processes can wait on each other.
+    """
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        env._call_soon(lambda: self._resume(None, ok=True))
+
+    def _resume(self, value: object, *, ok: bool) -> None:
+        try:
+            if ok:
+                target = self.generator.send(value)
+            else:
+                target = self.generator.throw(value)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:  # a crashed process fails its event
+            self.env.failed_processes.append(self)
+            if not self._triggered:
+                self.fail(exc)
+            else:
+                raise
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event"
+            )
+            self.env.failed_processes.append(self)
+            if not self._triggered:
+                self.fail(error)
+            return
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        self._resume(event.value, ok=event.ok)
+
+    def __repr__(self) -> str:
+        state = "done" if self._triggered else "running"
+        return f"Process(name={self.name!r}, {state})"
+
+
+class Environment:
+    """Virtual time and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+        #: Processes that terminated with an unhandled exception.  Kept so
+        #: experiment drivers can surface silent failures instead of
+        #: reporting an empty measurement.
+        self.failed_processes: list["Process"] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in milliseconds."""
+        return self._now
+
+    # -- construction helpers ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling internals ------------------------------------------------------
+
+    def _schedule_event(self, event: Event, *, delay: float = 0.0) -> None:
+        self._push(delay, lambda: self._dispatch(event))
+
+    def _call_soon(self, callback: Callable[[], None]) -> None:
+        self._push(0.0, callback)
+
+    def _push(self, delay: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    @staticmethod
+    def _dispatch_callbacks(event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def _dispatch(self, event: Event) -> None:
+        self._dispatch_callbacks(event)
+
+    # -- running ----------------------------------------------------------------------
+
+    def run_until(self, until: float) -> None:
+        """Advance virtual time until ``until`` (inclusive of events at that time)."""
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run backwards (now={self._now}, until={until})"
+            )
+        while self._queue and self._queue[0][0] <= until:
+            time, _seq, callback = heapq.heappop(self._queue)
+            self._now = time
+            self.events_processed += 1
+            callback()
+        self._now = until
+
+    def run_until_complete(self, process: Process, *, max_time: float = float("inf")) -> object:
+        """Run until ``process`` finishes (or ``max_time`` passes); return its value."""
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} cannot finish, no events pending"
+                )
+            time, _seq, callback = heapq.heappop(self._queue)
+            if time > max_time:
+                raise SimulationError(
+                    f"process {process.name!r} did not finish by t={max_time}"
+                )
+            self._now = time
+            self.events_processed += 1
+            callback()
+        if not process.ok:
+            raise process.value  # type: ignore[misc]
+        return process.value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf when the queue is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:
+        return f"Environment(now={self._now:.3f}, pending={len(self._queue)})"

@@ -1,0 +1,45 @@
+"""Deterministic random-number streams.
+
+Every stochastic quantity in the simulation (fsync service times, network
+jitter, workload item choices, forced aborts) draws from a named stream so
+that adding a new consumer does not perturb the draws seen by existing ones.
+All streams derive deterministically from the experiment seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class RandomStreams:
+    """A family of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name`` (created on first use)."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        derived = random.Random(f"{self.seed}:{name}")
+        self._streams[name] = derived
+        return derived
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        return self.stream(name).uniform(low, high)
+
+    def expovariate(self, name: str, mean: float) -> float:
+        if mean <= 0:
+            return 0.0
+        return self.stream(name).expovariate(1.0 / mean)
+
+    def choice_index(self, name: str, count: int) -> int:
+        return self.stream(name).randrange(count)
+
+    def random(self, name: str) -> float:
+        return self.stream(name).random()
+
+    def __repr__(self) -> str:
+        return f"RandomStreams(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,153 @@
+"""The TPC-W benchmark, shopping mix (paper Section 9.1).
+
+TPC-W models an on-line bookstore.  The paper uses the shopping mix (20%
+update transactions) and reports an average writeset size of 275 bytes.  In
+contrast to AllUpdates and TPC-B, TPC-W transactions are heavyweight — "the
+relatively heavy-weight transactions of TPC-W make CPU processing the
+bottleneck" — and the update rate is low enough that separating ordering and
+durability is *not* a bottleneck (Figure 12: Tashkent-API matches Base),
+while the shared IO channel still penalises the systems that log at the
+replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import WorkloadName
+from repro.core.writeset import WriteSet
+from repro.engine.table import TableSchema
+from repro.sim.rng import RandomStreams
+from repro.workloads.spec import TransactionProfile, WorkloadSpec
+
+
+class TPCWWorkload(WorkloadSpec):
+    """The TPC-W on-line bookstore, shopping mix."""
+
+    name = WorkloadName.TPC_W
+    default_clients_per_replica = 10
+    writeset_apply_cpu_ms = 0.6
+    #: The TPC-W database (~700 MB in the paper) does not fit in memory, so a
+    #: shared IO channel sees heavy interference from page reads and
+    #: dirty-page write-back: a commit-record fsync queues behind a burst of
+    #: data-page IO ("significantly higher critical path fsync delays due to
+    #: non-logging IO congestion", Section 9.4).
+    page_io_interference_ms = 220.0
+    #: Fraction of update transactions in the shopping mix.
+    update_fraction = 0.20
+    #: CPU costs: browsing interactions are heavy (search, best-sellers...),
+    #: order placement is heavier still.
+    readonly_cpu_ms = 40.0
+    update_cpu_ms = 48.0
+    #: Emulated-browser think time between interactions (ms).
+    think_time_ms = 400.0
+
+    #: Catalogue sizes (functional form keeps them small but proportional).
+    items_sim = 10_000
+    customers_sim = 28_800
+    items_functional = 100
+    customers_functional = 50
+
+    # -- simulation profile -----------------------------------------------------------
+
+    def next_transaction(self, rng: RandomStreams, *, replica_index: int,
+                         client_index: int, sequence: int) -> TransactionProfile:
+        stream = f"tpcw:r{replica_index}"
+        if rng.random(stream) >= self.update_fraction:
+            return TransactionProfile(
+                readonly=True,
+                exec_cpu_ms=self.readonly_cpu_ms,
+                label="tpcw-browse",
+            )
+        customer = rng.choice_index(stream, self.customers_sim)
+        item = rng.choice_index(stream, self.items_sim)
+        order_id = f"o-{replica_index}-{client_index}-{sequence}"
+        writeset = WriteSet()
+        writeset.add_insert(
+            "orders", order_id,
+            customer=customer, total=rng.choice_index(stream, 500), status="pending",
+            ship_addr="street " + "x" * 40,
+        )
+        writeset.add_insert(
+            "order_line", f"{order_id}-1",
+            order=order_id, item=item, qty=1 + rng.choice_index(stream, 3),
+            comments="y" * 60,
+        )
+        writeset.add_update("items", item, stock_delta=-1)
+        writeset.add_update("customers", customer, last_order=order_id, discount=1)
+        return TransactionProfile(
+            readonly=False,
+            exec_cpu_ms=self.update_cpu_ms,
+            writeset=writeset,
+            label="tpcw-buy",
+        )
+
+    # -- functional form ------------------------------------------------------------------
+
+    def schemas(self) -> Sequence[TableSchema]:
+        return (
+            TableSchema("items", ("id", "title", "price", "stock"), "id"),
+            TableSchema("customers", ("id", "name", "discount", "last_order"), "id"),
+            TableSchema("orders", ("id", "customer", "total", "status", "ship_addr"), "id"),
+            TableSchema("order_line", ("id", "order", "item", "qty", "comments"), "id"),
+            TableSchema("carts", ("id", "customer", "item", "qty"), "id"),
+        )
+
+    def setup(self, session) -> None:
+        """Load the catalogue and customer base."""
+        session.begin()
+        for item in range(self.items_functional):
+            session.insert(
+                "items", item,
+                id=item, title=f"book-{item}", price=5 + item % 40, stock=1000,
+            )
+        for customer in range(self.customers_functional):
+            session.insert(
+                "customers", customer,
+                id=customer, name=f"customer-{customer}", discount=0, last_order="",
+            )
+        outcome = session.commit()
+        if not outcome.committed:
+            raise RuntimeError("TPC-W setup transaction failed to commit")
+
+    def run_transaction(self, session, rng: RandomStreams, *, client_index: int = 0,
+                        sequence: int = 0) -> bool:
+        """One shopping-mix interaction: 80% browse, 20% buy."""
+        stream = f"tpcw-func:{client_index}"
+        if rng.random(stream) >= self.update_fraction:
+            return self._browse(session, rng, stream)
+        return self._buy(session, rng, stream, client_index, sequence)
+
+    def _browse(self, session, rng: RandomStreams, stream: str) -> bool:
+        """Read-only interaction: look at a few catalogue items."""
+        session.begin()
+        for _ in range(3):
+            item = rng.choice_index(stream, self.items_functional)
+            session.read("items", item)
+        return session.commit().committed
+
+    def _buy(self, session, rng: RandomStreams, stream: str,
+             client_index: int, sequence: int) -> bool:
+        """Update interaction: place an order for one item."""
+        customer = rng.choice_index(stream, self.customers_functional)
+        item = rng.choice_index(stream, self.items_functional)
+        order_id = f"o-{client_index}-{sequence}"
+        session.begin()
+        item_row = session.read("items", item)
+        customer_row = session.read("customers", customer)
+        if item_row is None or customer_row is None:
+            session.abort()
+            return False
+        qty = 1 + rng.choice_index(stream, 3)
+        session.insert(
+            "orders", order_id,
+            id=order_id, customer=customer, total=int(item_row["price"]) * qty,
+            status="pending", ship_addr="1 repro way",
+        )
+        session.insert(
+            "order_line", f"{order_id}-1",
+            id=f"{order_id}-1", order=order_id, item=item, qty=qty, comments="",
+        )
+        session.update("items", item, stock=int(item_row["stock"]) - qty)
+        session.update("customers", customer, last_order=order_id)
+        return session.commit().committed

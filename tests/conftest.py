@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package first.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.writeset import WriteSet, make_writeset  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+
+
+@pytest.fixture
+def accounts_db() -> Database:
+    """A small database with an ``accounts`` table and ten funded rows."""
+    db = Database("accounts-db")
+    db.create_table("accounts", ["id", "balance", "owner"])
+    txn = db.begin()
+    for i in range(10):
+        db.insert(txn, "accounts", i, id=i, balance=100, owner=f"user-{i}")
+    db.commit(txn)
+    return db
+
+
+@pytest.fixture
+def empty_db() -> Database:
+    db = Database("empty-db")
+    db.create_table("items", ["id", "value"])
+    return db
+
+
+def ws(*keys: object, table: str = "t") -> WriteSet:
+    """Shorthand writeset touching ``keys`` in ``table``."""
+    return make_writeset([(table, key) for key in keys])

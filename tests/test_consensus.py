@@ -1,0 +1,164 @@
+"""Tests for Paxos, the replicated log and the replicated certifier group."""
+
+import pytest
+
+from repro.consensus.group import ReplicatedCertifierGroup
+from repro.consensus.log import ReplicatedLog, ReplicatedLogNode
+from repro.consensus.paxos import Acceptor, Ballot, Proposer
+from repro.core.certification import CertificationRequest
+from repro.core.writeset import make_writeset
+from repro.errors import NotLeaderError, QuorumUnavailableError
+
+
+# ----------------------------------------------------------------- single-decree Paxos
+
+def test_single_proposer_reaches_consensus():
+    acceptors = [Acceptor(i) for i in range(3)]
+    proposer = Proposer(0, acceptors)
+    assert proposer.propose("value-A") == "value-A"
+    # A later proposer must adopt the already chosen value.
+    late = Proposer(1, acceptors)
+    assert late.propose("value-B") == "value-A"
+
+
+def test_paxos_requires_majority_of_acceptors():
+    acceptors = [Acceptor(i) for i in range(3)]
+    acceptors[0].crash()
+    acceptors[1].crash()
+    with pytest.raises(QuorumUnavailableError):
+        Proposer(0, acceptors).propose("v")
+
+
+def test_paxos_survives_minority_crash():
+    acceptors = [Acceptor(i) for i in range(5)]
+    acceptors[0].crash()
+    acceptors[1].crash()
+    assert Proposer(0, acceptors).propose("v") == "v"
+
+
+def test_acceptor_promise_blocks_lower_ballots():
+    acceptor = Acceptor(0)
+    assert acceptor.prepare(Ballot(5, 1)).promised
+    assert not acceptor.prepare(Ballot(4, 0)).promised
+    assert not acceptor.accept(Ballot(4, 0), "x").accepted
+    assert acceptor.accept(Ballot(5, 1), "y").accepted
+
+
+def test_ballot_total_order():
+    assert Ballot(1, 0) < Ballot(1, 1) < Ballot(2, 0)
+    assert Ballot(1, 1) <= Ballot(1, 1)
+    assert Ballot(3, 2).next_round() == Ballot(4, 2)
+
+
+# ----------------------------------------------------------------- replicated log
+
+def make_log(n=3):
+    nodes = [ReplicatedLogNode(node_id=i) for i in range(n)]
+    return ReplicatedLog(nodes), nodes
+
+
+def test_replicated_log_appends_through_leader_and_replicates():
+    log, nodes = make_log()
+    assert log.append("a") == 0
+    assert log.append("b") == 1
+    assert log.chosen_prefix() == ["a", "b"]
+    for node in nodes:
+        assert node.known_length() == 2
+
+
+def test_replicated_log_rejects_non_leader_appends():
+    log, _ = make_log()
+    with pytest.raises(NotLeaderError):
+        log.append("x", from_node=2)
+
+
+def test_replicated_log_requires_quorum():
+    log, nodes = make_log()
+    nodes[1].crash()
+    nodes[2].crash()
+    with pytest.raises(QuorumUnavailableError):
+        log.append("x")
+
+
+def test_leader_failure_and_election():
+    log, nodes = make_log()
+    log.append("a")
+    nodes[0].crash()
+    assert log.elect_leader() == 1
+    assert log.append("b") == 1
+    assert log.chosen_prefix() == ["a", "b"]
+
+
+def test_recovering_node_catches_up_by_state_transfer():
+    log, nodes = make_log()
+    nodes[2].crash()
+    log.append("a")
+    log.append("b")
+    nodes[2].recover()
+    transferred = log.catch_up(nodes[2])
+    assert transferred == 2
+    assert nodes[2].known_length() == 2
+
+
+# ----------------------------------------------------------------- replicated certifier group
+
+def certify(group, key, start=0):
+    return group.certify(
+        CertificationRequest(tx_start_version=start, writeset=make_writeset([("t", key)]),
+                             replica_version=start)
+    )
+
+
+def test_group_certifies_and_replicates_to_majority():
+    group = ReplicatedCertifierGroup(3)
+    result = certify(group, "a")
+    assert result.committed
+    assert group.logs_consistent()
+    assert group.node_log_length(0) == 1
+    assert group.node_log_length(1) == 1
+    assert group.certifier.log.durable_version == 1
+
+
+def test_group_makes_progress_with_one_node_down():
+    group = ReplicatedCertifierGroup(3)
+    group.crash_node(2)
+    assert certify(group, "a").committed
+    assert group.up_count() == 2
+
+
+def test_group_refuses_updates_without_majority():
+    group = ReplicatedCertifierGroup(3)
+    group.crash_node(1)
+    group.crash_node(2)
+    with pytest.raises(QuorumUnavailableError):
+        certify(group, "a")
+
+
+def test_leader_crash_triggers_election_and_continues():
+    group = ReplicatedCertifierGroup(3)
+    certify(group, "a")
+    group.crash_node(group.leader_id)
+    result = certify(group, "b", start=1)
+    assert result.committed
+    assert group.stats.leader_changes == 1
+    assert group.logs_consistent()
+
+
+def test_recovered_node_catches_up_with_missed_records():
+    group = ReplicatedCertifierGroup(3)
+    certify(group, "a")
+    group.crash_node(2)
+    certify(group, "b", start=1)
+    certify(group, "c", start=2)
+    transferred = group.recover_node(2)
+    assert transferred == 2
+    assert group.node_log_length(2) == 3
+    assert group.logs_consistent()
+
+
+def test_conflicts_still_abort_through_the_group():
+    group = ReplicatedCertifierGroup(3)
+    assert certify(group, "x").committed
+    assert not certify(group, "x").committed
+    # Aborted transactions are never replicated.
+    assert group.node_log_length(0) == 1

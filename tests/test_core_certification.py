@@ -1,0 +1,146 @@
+"""Unit tests for the GSI certifier (paper Section 6.1 pseudo-code)."""
+
+import pytest
+
+from repro.core.certification import CertificationDecision, CertificationRequest, Certifier
+from repro.core.writeset import WriteSet, make_writeset
+
+
+def request(writeset, start=0, replica_version=0, replica="replica-0", back_to=None):
+    return CertificationRequest(
+        tx_start_version=start,
+        writeset=writeset,
+        replica_version=replica_version,
+        origin_replica=replica,
+        check_remote_back_to=back_to,
+    )
+
+
+def test_first_update_transaction_commits_at_version_one():
+    certifier = Certifier()
+    result = certifier.certify(request(make_writeset([("t", 1)])))
+    assert result.decision is CertificationDecision.COMMIT
+    assert result.tx_commit_version == 1
+    assert certifier.system_version.version == 1
+    assert certifier.log.last_version == 1
+
+
+def test_non_conflicting_concurrent_transactions_both_commit():
+    certifier = Certifier()
+    first = certifier.certify(request(make_writeset([("t", 1)]), start=0))
+    second = certifier.certify(request(make_writeset([("t", 2)]), start=0))
+    assert first.committed and second.committed
+    assert (first.tx_commit_version, second.tx_commit_version) == (1, 2)
+
+
+def test_conflicting_concurrent_transaction_aborts():
+    certifier = Certifier()
+    certifier.certify(request(make_writeset([("t", 1)]), start=0))
+    conflicting = certifier.certify(request(make_writeset([("t", 1)]), start=0))
+    assert conflicting.decision is CertificationDecision.ABORT
+    assert conflicting.tx_commit_version is None
+    assert conflicting.conflicting_version == 1
+    # The abort does not create a version.
+    assert certifier.system_version.version == 1
+
+
+def test_conflict_only_counts_if_committed_after_start_version():
+    certifier = Certifier()
+    certifier.certify(request(make_writeset([("t", 1)]), start=0))
+    # The second transaction started *after* version 1, so it saw that update
+    # and does not conflict with it.
+    later = certifier.certify(request(make_writeset([("t", 1)]), start=1))
+    assert later.committed
+    assert later.tx_commit_version == 2
+
+
+def test_readonly_request_commits_without_creating_a_version():
+    certifier = Certifier()
+    result = certifier.certify(request(WriteSet()))
+    assert result.committed
+    assert result.tx_commit_version is None
+    assert certifier.system_version.version == 0
+    assert certifier.readonly_requests == 1
+
+
+def test_remote_writesets_cover_exactly_what_the_replica_has_not_seen():
+    certifier = Certifier()
+    for key in range(1, 5):
+        certifier.certify(request(make_writeset([("t", key)]), start=0, replica="replica-A"))
+    # A replica at version 2 committing its own transaction gets 3 and 4 back
+    # (but not its own new commit version 5).
+    result = certifier.certify(
+        request(make_writeset([("x", 1)]), start=2, replica_version=2, replica="replica-B")
+    )
+    assert result.committed and result.tx_commit_version == 5
+    assert [info.commit_version for info in result.remote_writesets] == [3, 4]
+
+
+def test_aborted_request_still_receives_remote_writesets():
+    certifier = Certifier()
+    certifier.certify(request(make_writeset([("t", 1)]), start=0))
+    result = certifier.certify(request(make_writeset([("t", 1)]), start=0, replica_version=0))
+    assert not result.committed
+    assert [info.commit_version for info in result.remote_writesets] == [1]
+
+
+def test_forced_abort_rate_injects_aborts_after_certification():
+    # A chooser that always returns 0.0 forces every certifiable request to abort.
+    certifier = Certifier(forced_abort_rate=0.3, abort_chooser=lambda: 0.0)
+    result = certifier.certify(request(make_writeset([("t", 1)])))
+    assert not result.committed
+    assert result.forced_abort
+    assert certifier.forced_aborts == 1
+    # Forced aborts never hide genuine conflicts statistics.
+    assert certifier.aborts == 1
+
+
+def test_forced_abort_disabled_without_chooser():
+    certifier = Certifier(forced_abort_rate=0.9)
+    result = certifier.certify(request(make_writeset([("t", 1)])))
+    assert result.committed
+
+
+def test_fetch_remote_writesets_for_staleness_refresh():
+    certifier = Certifier()
+    for key in range(3):
+        certifier.certify(request(make_writeset([("t", key)]), start=key))
+    remote = certifier.fetch_remote_writesets(1)
+    assert [info.commit_version for info in remote] == [2, 3]
+
+
+def test_extended_certification_reports_conflict_free_horizon():
+    certifier = Certifier()
+    certifier.certify(request(make_writeset([("t", 1)]), start=0, replica="A"))
+    certifier.certify(request(make_writeset([("t", 2)]), start=1, replica="A"))
+    # Replica B at version 0 asks for remote writesets checked back to 0.
+    result = certifier.certify(
+        request(make_writeset([("x", 9)]), start=0, replica_version=0, replica="B", back_to=0)
+    )
+    horizons = {info.commit_version: info.conflict_free_back_to for info in result.remote_writesets}
+    # Writeset 1 and 2 do not conflict with anything back to version 0.
+    assert horizons[1] == 0
+    assert horizons[2] == 0
+
+
+def test_extended_certification_keeps_horizon_when_conflict_found():
+    certifier = Certifier()
+    certifier.certify(request(make_writeset([("t", 1)]), start=0, replica="A"))
+    # Version 2 conflicts with version 1 but was certified only back to 1.
+    certifier.certify(request(make_writeset([("t", 1)]), start=1, replica="A"))
+    result = certifier.certify(
+        request(make_writeset([("x", 9)]), start=0, replica_version=0, replica="B", back_to=0)
+    )
+    horizons = {info.commit_version: info.conflict_free_back_to for info in result.remote_writesets}
+    assert horizons[2] >= 1  # cannot be vouched for back to 0
+
+
+def test_stats_snapshot_counts_requests_and_rate():
+    certifier = Certifier()
+    certifier.certify(request(make_writeset([("t", 1)]), start=0))
+    certifier.certify(request(make_writeset([("t", 1)]), start=0))
+    stats = certifier.stats()
+    assert stats["requests"] == 2
+    assert stats["commits"] == 1
+    assert stats["aborts"] == 1
+    assert stats["abort_rate"] == pytest.approx(0.5)

@@ -1,0 +1,108 @@
+"""Unit tests for the certifier's persistent log."""
+
+import pytest
+
+from repro.core.certifier_log import CertifierLog, LogRecord
+from repro.core.writeset import make_writeset
+from repro.errors import ConfigurationError
+
+
+def record(version, *keys):
+    return LogRecord(commit_version=version, writeset=make_writeset([("t", k) for k in keys]))
+
+
+def build_log(n=5):
+    log = CertifierLog()
+    for version in range(1, n + 1):
+        log.append(record(version, version))
+    return log
+
+
+def test_append_requires_dense_versions():
+    log = CertifierLog()
+    log.append(record(1, 1))
+    with pytest.raises(ConfigurationError):
+        log.append(record(3, 3))
+
+
+def test_records_between_matches_remote_writeset_semantics():
+    log = build_log(5)
+    versions = [r.commit_version for r in log.records_between(2, 4)]
+    assert versions == [3, 4]
+    assert log.records_between(4, 2) == []
+    assert [r.commit_version for r in log.records_after(3)] == [4, 5]
+
+
+def test_conflicts_scans_only_requested_window():
+    log = build_log(5)
+    probe = make_writeset([("t", 2)])
+    assert log.conflicts(probe, after_version=0)
+    assert not log.conflicts(probe, after_version=2)  # version 2 not in window
+    assert log.first_conflicting_version(probe, 0) == 2
+    assert log.first_conflicting_version(make_writeset([("t", 99)]), 0) is None
+
+
+def test_durable_horizon_is_monotonic_and_bounded():
+    log = build_log(3)
+    assert log.durable_version == 0
+    assert log.pending_flush_count == 3
+    log.mark_durable(2)
+    assert log.durable_version == 2
+    with pytest.raises(ConfigurationError):
+        log.mark_durable(1)
+    with pytest.raises(ConfigurationError):
+        log.mark_durable(9)
+
+
+def test_truncate_to_durable_simulates_crash():
+    log = build_log(4)
+    log.mark_durable(2)
+    lost = log.truncate_to_durable()
+    assert lost == 2
+    assert log.last_version == 2
+
+
+def test_replay_covers_only_durable_suffix():
+    log = build_log(4)
+    log.mark_durable(3)
+    seen = []
+    replayed = log.replay(lambda r: seen.append(r.commit_version), after_version=1)
+    assert replayed == 2
+    assert seen == [2, 3]
+
+
+def test_extend_certification_tracks_horizon():
+    log = CertifierLog()
+    log.append(LogRecord(1, make_writeset([("t", 1)]), certified_back_to=0))
+    log.append(LogRecord(2, make_writeset([("t", 2)]), certified_back_to=1))
+    # Version 2 does not conflict with version 1, so it can be certified back to 0.
+    assert log.extend_certification(2, 0)
+    assert log.certified_back_to(2) == 0
+    # Asking again (or for a later horizon) is a no-op that reports success.
+    assert log.extend_certification(2, 1)
+
+
+def test_extend_certification_detects_earlier_conflict():
+    log = CertifierLog()
+    log.append(LogRecord(1, make_writeset([("t", 7)]), certified_back_to=0))
+    log.append(LogRecord(2, make_writeset([("t", 7)]), certified_back_to=1))
+    assert not log.extend_certification(2, 0)
+    assert log.certified_back_to(2) == 1  # horizon unchanged
+
+
+def test_from_records_round_trip_and_sizes():
+    log = build_log(3)
+    rebuilt = CertifierLog.from_records(log.iter_records())
+    assert rebuilt.last_version == 3
+    assert rebuilt.durable_version == 3
+    assert rebuilt.total_size_bytes() > 0
+    assert len(rebuilt) == 3
+
+
+def test_record_at_bounds_checked():
+    log = build_log(2)
+    with pytest.raises(KeyError):
+        log.record_at(0)
+    with pytest.raises(KeyError):
+        log.record_at(3)
+    assert log.record_at(2).commit_version == 2

@@ -1,0 +1,123 @@
+"""Unit tests for group-commit batching and the commit sequencer."""
+
+import pytest
+
+from repro.core.group_commit import GroupCommitBatcher, GroupCommitStats
+from repro.core.ordering import CommitSequencer
+from repro.errors import ConfigurationError, InvalidTransactionState
+
+
+# ----------------------------------------------------------------- group commit
+
+def test_batcher_groups_everything_pending_into_one_flush():
+    batcher = GroupCommitBatcher()
+    for i in range(5):
+        batcher.enqueue(i)
+    batch = batcher.take_batch()
+    assert batch == [0, 1, 2, 3, 4]
+    batcher.complete_batch()
+    assert batcher.stats.flushes == 1
+    assert batcher.stats.average_batch_size == 5
+
+
+def test_records_enqueued_during_flush_wait_for_next_flush():
+    batcher = GroupCommitBatcher()
+    batcher.enqueue("a")
+    first = batcher.take_batch()
+    # "b" arrives while the fsync for the first batch is in flight.
+    batcher.enqueue("b")
+    assert first == ["a"]
+    batcher.complete_batch()
+    second = batcher.take_batch()
+    assert second == ["b"]
+    batcher.complete_batch()
+    assert batcher.stats.flushes == 2
+
+
+def test_take_batch_twice_without_completion_is_an_error():
+    batcher = GroupCommitBatcher()
+    batcher.enqueue(1)
+    batcher.take_batch()
+    with pytest.raises(RuntimeError):
+        batcher.take_batch()
+
+
+def test_abandon_batch_requeues_at_the_head():
+    batcher = GroupCommitBatcher()
+    batcher.enqueue_many([1, 2])
+    batcher.take_batch()
+    batcher.enqueue(3)
+    batcher.abandon_batch()
+    assert batcher.take_batch() == [1, 2, 3]
+
+
+def test_max_batch_size_limits_each_flush():
+    batcher = GroupCommitBatcher(max_batch_size=2)
+    batcher.enqueue_many([1, 2, 3])
+    assert batcher.take_batch() == [1, 2]
+    batcher.complete_batch()
+    assert batcher.take_batch() == [3]
+
+
+def test_stats_merge_and_largest_batch():
+    a = GroupCommitStats()
+    b = GroupCommitStats()
+    a.record_flush(3)
+    b.record_flush(5)
+    a.merge(b)
+    assert a.flushes == 2
+    assert a.records_flushed == 8
+    assert a.largest_batch == 5
+    assert a.average_batch_size == 4
+
+
+# ----------------------------------------------------------------- commit sequencer
+
+def test_sequencer_announces_in_order_even_if_durable_out_of_order():
+    announced = []
+    sequencer = CommitSequencer()
+    sequencer.register(1, lambda: announced.append(1))
+    sequencer.register(2, lambda: announced.append(2))
+    # Version 2's record hits the disk first: nothing can be announced yet.
+    assert sequencer.mark_durable(2) == []
+    assert announced == []
+    # Version 1 becoming durable releases both, in order.
+    assert sequencer.mark_durable(1) == [1, 2]
+    assert announced == [1, 2]
+    assert sequencer.announced_version == 2
+
+
+def test_sequencer_rejects_duplicate_or_stale_registrations():
+    sequencer = CommitSequencer()
+    sequencer.register(1)
+    with pytest.raises(ConfigurationError):
+        sequencer.register(1)
+    sequencer.mark_durable(1)
+    with pytest.raises(ConfigurationError):
+        sequencer.register(1)
+
+
+def test_sequencer_mark_durable_requires_registration():
+    sequencer = CommitSequencer()
+    with pytest.raises(InvalidTransactionState):
+        sequencer.mark_durable(3)
+
+
+def test_sequencer_detects_api_abuse_deadlock():
+    # COMMIT 9 without ever providing COMMIT 1-8 (paper Section 5.2).
+    sequencer = CommitSequencer()
+    sequencer.register(9)
+    sequencer.mark_durable(9)
+    assert sequencer.would_deadlock()
+    assert sequencer.blocked_sequences() == [9]
+    # Registering the missing sequences clears the abuse condition.
+    sequencer.register(1)
+    assert not sequencer.would_deadlock()
+
+
+def test_register_and_mark_durable_shortcut():
+    sequencer = CommitSequencer()
+    announced = sequencer.register_and_mark_durable(1)
+    assert announced == [1]
+    assert sequencer.waiting_count == 0
+    assert not sequencer.is_waiting_for(1)

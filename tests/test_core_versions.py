@@ -1,0 +1,70 @@
+"""Unit tests for GSI version bookkeeping."""
+
+import pytest
+
+from repro.core.versions import Snapshot, TransactionVersions, VersionClock
+from repro.errors import ConfigurationError
+
+
+def test_version_clock_starts_at_zero_and_increments():
+    clock = VersionClock()
+    assert clock.version == 0
+    assert clock.increment() == 1
+    assert clock.increment() == 2
+    assert clock.version == 2
+
+
+def test_version_clock_advance_to_allows_jumps():
+    clock = VersionClock()
+    clock.advance_to(5)
+    assert clock.version == 5
+    clock.advance_to(5)  # idempotent
+    assert clock.version == 5
+
+
+def test_version_clock_rejects_regression():
+    clock = VersionClock(initial=3)
+    with pytest.raises(ConfigurationError):
+        clock.advance_to(2)
+
+
+def test_version_clock_rejects_negative_initial():
+    with pytest.raises(ConfigurationError):
+        VersionClock(initial=-1)
+
+
+def test_snapshot_visibility_helpers():
+    snapshot = VersionClock(initial=7).snapshot("replica-1")
+    assert isinstance(snapshot, Snapshot)
+    assert snapshot.version == 7
+    assert snapshot.replica == "replica-1"
+    assert snapshot.is_at_least(7)
+    assert not snapshot.is_at_least(8)
+
+
+def test_snapshot_rejects_negative_version():
+    with pytest.raises(ConfigurationError):
+        Snapshot(version=-1)
+
+
+def test_transaction_versions_effective_start_defaults_to_start():
+    versions = TransactionVersions(tx_start_version=4)
+    assert versions.effective_start_version == 4
+    assert not versions.is_committed
+
+
+def test_transaction_versions_advance_effective_start_only_forward():
+    versions = TransactionVersions(tx_start_version=4)
+    versions.advance_effective_start(6)
+    assert versions.effective_start_version == 6
+    versions.advance_effective_start(5)  # ignored, never regresses
+    assert versions.effective_start_version == 6
+
+
+def test_transaction_versions_commit_must_exceed_start():
+    versions = TransactionVersions(tx_start_version=4)
+    with pytest.raises(ConfigurationError):
+        versions.mark_committed(4)
+    versions.mark_committed(9)
+    assert versions.is_committed
+    assert versions.tx_commit_version == 9

@@ -1,0 +1,89 @@
+"""Unit tests for writesets and their intersection semantics."""
+
+import pytest
+
+from repro.core.writeset import WriteItem, WriteOp, WriteSet, make_writeset
+
+
+def test_empty_writeset_is_readonly_marker():
+    writeset = WriteSet()
+    assert writeset.is_empty()
+    assert not writeset
+    assert len(writeset) == 0
+    assert writeset.size_bytes() == 0
+
+
+def test_add_update_insert_delete_are_recorded_in_order():
+    writeset = WriteSet()
+    writeset.add_insert("accounts", 1, balance=100)
+    writeset.add_update("accounts", 2, balance=50)
+    writeset.add_delete("accounts", 3)
+    ops = [item.op for item in writeset]
+    assert ops == [WriteOp.INSERT, WriteOp.UPDATE, WriteOp.DELETE]
+    assert len(writeset) == 3
+    assert not writeset.is_empty()
+
+
+def test_conflict_detection_requires_shared_item():
+    a = make_writeset([("accounts", 1), ("accounts", 2)])
+    b = make_writeset([("accounts", 3)])
+    c = make_writeset([("accounts", 2), ("tellers", 9)])
+    assert not a.conflicts_with(b)
+    assert a.conflicts_with(c)
+    assert c.conflicts_with(a)  # symmetric
+    assert a.conflicting_items(c) == frozenset({("accounts", 2)})
+
+
+def test_same_key_different_table_does_not_conflict():
+    a = make_writeset([("accounts", 1)])
+    b = make_writeset([("tellers", 1)])
+    assert not a.conflicts_with(b)
+
+
+def test_union_groups_remote_writesets():
+    a = make_writeset([("t", 1)])
+    b = make_writeset([("t", 2)])
+    c = make_writeset([("t", 3)])
+    grouped = WriteSet.union([a, b, c])
+    assert len(grouped) == 3
+    assert grouped.item_ids == frozenset({("t", 1), ("t", 2), ("t", 3)})
+
+
+def test_touches_and_tables():
+    writeset = WriteSet()
+    writeset.add_update("branches", 7, balance=1)
+    writeset.add_insert("history", "h-1", delta=1)
+    assert writeset.touches("branches", 7)
+    assert not writeset.touches("branches", 8)
+    assert writeset.tables() == frozenset({"branches", "history"})
+
+
+def test_size_bytes_grows_with_values():
+    small = WriteSet()
+    small.add_update("t", 1, v=1)
+    large = WriteSet()
+    large.add_update("t", 1, v="x" * 500)
+    assert large.size_bytes() > small.size_bytes() > 0
+
+
+def test_write_item_identity_and_size():
+    item = WriteItem(table="accounts", key=42, op=WriteOp.UPDATE, values={"balance": 7})
+    assert item.item_id == ("accounts", 42)
+    assert item.size_bytes() > 0
+
+
+def test_writeset_equality_and_repr():
+    a = make_writeset([("t", 1), ("t", 2)])
+    b = make_writeset([("t", 1), ("t", 2)])
+    c = make_writeset([("t", 2), ("t", 1)])
+    assert a == b
+    assert a != c  # order matters for replay
+    assert "WriteSet" in repr(a)
+
+
+def test_merge_preserves_order_and_identity():
+    a = make_writeset([("t", 1)])
+    b = make_writeset([("t", 2), ("t", 1)])
+    a.merge(b)
+    assert [item.key for item in a] == [1, 2, 1]
+    assert a.item_ids == frozenset({("t", 1), ("t", 2)})

@@ -1,0 +1,91 @@
+"""Unit tests for the write-lock manager and deadlock detection."""
+
+import pytest
+
+from repro.engine.locks import LockBlockedError, LockManager, LockStatus
+from repro.errors import DeadlockError
+
+
+def test_first_writer_gets_the_lock_and_reacquisition_is_noop():
+    locks = LockManager()
+    assert locks.try_acquire(1, ("t", "x")) is LockStatus.GRANTED
+    assert locks.try_acquire(1, ("t", "x")) is LockStatus.ALREADY_HELD
+    assert locks.holds(1, ("t", "x"))
+    assert locks.holder_of(("t", "x")) == 1
+    assert locks.active_lock_count() == 1
+
+
+def test_second_writer_blocks_behind_the_holder():
+    locks = LockManager()
+    locks.try_acquire(1, ("t", "x"))
+    with pytest.raises(LockBlockedError) as excinfo:
+        locks.try_acquire(2, ("t", "x"))
+    assert excinfo.value.holder == 1
+    assert excinfo.value.requester == 2
+    assert locks.wait_for_graph() == {2: 1}
+
+
+def test_release_promotes_the_first_waiter_in_fifo_order():
+    locks = LockManager()
+    locks.try_acquire(1, ("t", "x"))
+    with pytest.raises(LockBlockedError):
+        locks.try_acquire(2, ("t", "x"))
+    with pytest.raises(LockBlockedError):
+        locks.try_acquire(3, ("t", "x"))
+    promotions = locks.release_all(1)
+    assert promotions == [(("t", "x"), 2)]
+    assert locks.holder_of(("t", "x")) == 2
+    # Transaction 3 is still queued behind the new holder.
+    promotions = locks.release_all(2)
+    assert promotions == [(("t", "x"), 3)]
+
+
+def test_release_without_waiters_frees_the_item():
+    locks = LockManager()
+    locks.try_acquire(1, ("t", "x"))
+    assert locks.release_all(1) == []
+    assert locks.holder_of(("t", "x")) is None
+    assert locks.active_lock_count() == 0
+
+
+def test_deadlock_detection_aborts_the_requester_closing_the_cycle():
+    locks = LockManager()
+    locks.try_acquire(1, ("t", "x"))
+    locks.try_acquire(2, ("t", "y"))
+    with pytest.raises(LockBlockedError):
+        locks.try_acquire(2, ("t", "x"))  # 2 waits on 1
+    with pytest.raises(DeadlockError):
+        locks.try_acquire(1, ("t", "y"))  # 1 -> 2 -> 1 would be a cycle
+    assert locks.deadlocks_detected == 1
+
+
+def test_three_way_deadlock_detected():
+    locks = LockManager()
+    locks.try_acquire(1, ("t", "a"))
+    locks.try_acquire(2, ("t", "b"))
+    locks.try_acquire(3, ("t", "c"))
+    with pytest.raises(LockBlockedError):
+        locks.try_acquire(1, ("t", "b"))
+    with pytest.raises(LockBlockedError):
+        locks.try_acquire(2, ("t", "c"))
+    with pytest.raises(DeadlockError):
+        locks.try_acquire(3, ("t", "a"))
+
+
+def test_cancel_wait_removes_the_waiter_from_the_queue():
+    locks = LockManager()
+    locks.try_acquire(1, ("t", "x"))
+    with pytest.raises(LockBlockedError):
+        locks.try_acquire(2, ("t", "x"))
+    locks.cancel_wait(2)
+    assert locks.release_all(1) == []  # nobody left to promote
+    assert locks.wait_for_graph() == {}
+
+
+def test_locks_held_by_lists_all_items():
+    locks = LockManager()
+    locks.try_acquire(5, ("t", 1))
+    locks.try_acquire(5, ("u", 2))
+    assert locks.locks_held_by(5) == frozenset({("t", 1), ("u", 2)})
+    locks.release_all(5)
+    assert locks.locks_held_by(5) == frozenset()

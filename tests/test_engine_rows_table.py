@@ -1,0 +1,133 @@
+"""Unit tests for the versioned row store and tables."""
+
+import pytest
+
+from repro.engine.rows import RowVersion, VersionedRow
+from repro.engine.table import Table, TableSchema
+from repro.errors import DuplicateKeyError, StorageError
+
+
+# ----------------------------------------------------------------- row versions
+
+def test_row_version_visibility_rule():
+    version = RowVersion(created_version=3, values={"v": 1})
+    assert not version.visible_to(2)
+    assert version.visible_to(3)
+    deleted = version.with_deletion(5)
+    assert deleted.visible_to(4)
+    assert not deleted.visible_to(5)
+
+
+def test_row_version_cannot_be_deleted_twice():
+    version = RowVersion(created_version=1, values={}).with_deletion(2)
+    with pytest.raises(StorageError):
+        version.with_deletion(3)
+
+
+def test_versioned_row_snapshot_reads_see_correct_history():
+    row = VersionedRow("k")
+    row.install(RowVersion(created_version=1, values={"v": "a"}))
+    row.install(RowVersion(created_version=3, values={"v": "b"}))
+    assert row.version_for_snapshot(1).values["v"] == "a"
+    assert row.version_for_snapshot(2).values["v"] == "a"
+    assert row.version_for_snapshot(3).values["v"] == "b"
+    assert row.version_for_snapshot(0) is None
+    assert row.last_modified_version == 3
+    assert row.version_count() == 2
+
+
+def test_versioned_row_delete_and_existence():
+    row = VersionedRow("k")
+    row.install(RowVersion(created_version=1, values={"v": 1}))
+    row.delete(4)
+    assert row.exists_at(3)
+    assert not row.exists_at(4)
+    assert row.last_modified_version == 4
+
+
+def test_versioned_row_rejects_out_of_order_installs():
+    row = VersionedRow("k")
+    row.install(RowVersion(created_version=5, values={}))
+    with pytest.raises(StorageError):
+        row.install(RowVersion(created_version=5, values={}))
+
+
+def test_vacuum_drops_versions_invisible_to_oldest_snapshot():
+    row = VersionedRow("k")
+    for version in (1, 2, 3, 4):
+        row.install(RowVersion(created_version=version, values={"v": version}))
+    removed = row.vacuum(oldest_active_snapshot=3)
+    assert removed == 2
+    assert row.version_for_snapshot(3).values["v"] == 3
+    assert row.version_for_snapshot(4).values["v"] == 4
+
+
+# ----------------------------------------------------------------- tables
+
+def make_table():
+    return Table(TableSchema("accounts", ("id", "balance"), "id"))
+
+
+def test_schema_validation():
+    with pytest.raises(StorageError):
+        TableSchema("t", (), "id")
+    with pytest.raises(StorageError):
+        TableSchema("t", ("a", "b"), "id")
+    with pytest.raises(StorageError):
+        TableSchema("t", ("a", "a"), "a")
+    schema = TableSchema("t", ("id", "x"), "id")
+    with pytest.raises(StorageError):
+        schema.validate_values({"bogus": 1}, partial=True)
+    with pytest.raises(StorageError):
+        schema.validate_values({"id": 1}, partial=False)
+
+
+def test_table_insert_update_delete_with_snapshots():
+    table = make_table()
+    table.install_insert(1, {"id": 1, "balance": 10}, commit_version=1)
+    table.install_update(1, {"balance": 20}, commit_version=2)
+    assert table.read(1, 1)["balance"] == 10
+    assert table.read(1, 2)["balance"] == 20
+    table.install_delete(1, commit_version=3)
+    assert table.read(1, 2) is not None
+    assert table.read(1, 3) is None
+    assert table.last_modified_version(1) == 3
+
+
+def test_table_duplicate_insert_rejected_but_reinsert_after_delete_ok():
+    table = make_table()
+    table.install_insert(1, {"id": 1, "balance": 10}, commit_version=1)
+    with pytest.raises(DuplicateKeyError):
+        table.install_insert(1, {"id": 1, "balance": 99}, commit_version=2)
+    table.install_delete(1, commit_version=2)
+    table.install_insert(1, {"id": 1, "balance": 5}, commit_version=3)
+    assert table.read(1, 3)["balance"] == 5
+
+
+def test_table_update_of_unknown_row_is_an_upsert_for_replay():
+    table = make_table()
+    table.install_update(7, {"balance": 3}, commit_version=2)
+    row = table.read(7, 2)
+    assert row["balance"] == 3
+    assert row["id"] == 7  # primary key synthesised
+    # Deleting a row that never existed is an idempotent no-op.
+    table.install_delete(42, commit_version=3)
+
+
+def test_table_scan_and_count_respect_snapshots():
+    table = make_table()
+    for key in range(4):
+        table.install_insert(key, {"id": key, "balance": key}, commit_version=key + 1)
+    assert table.count(2) == 2
+    assert table.count(4) == 4
+    assert [key for key, _ in table.scan(3)] == [0, 1, 2]
+    assert len(table) == 4
+
+
+def test_table_snapshot_state_and_vacuum():
+    table = make_table()
+    table.install_insert(1, {"id": 1, "balance": 1}, commit_version=1)
+    table.install_update(1, {"balance": 2}, commit_version=2)
+    state = table.snapshot_state(2)
+    assert state == {1: {"id": 1, "balance": 2}}
+    assert table.vacuum(2) == 1

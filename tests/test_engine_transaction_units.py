@@ -1,0 +1,100 @@
+"""Unit tests for the engine transaction workspace and analysis helpers."""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table
+from repro.analysis.results import ResultTable
+from repro.core.writeset import WriteOp
+from repro.engine.transaction import EngineTransaction, TransactionStatus
+from repro.errors import InvalidTransactionState
+
+
+# ----------------------------------------------------------------- transaction workspace
+
+def test_transaction_starts_active_and_readonly():
+    txn = EngineTransaction(txn_id=1, snapshot_version=4)
+    assert txn.is_active
+    assert txn.is_readonly
+    assert txn.snapshot_version == 4
+    assert txn.extract_writeset().is_empty()
+
+
+def test_buffered_writes_support_read_your_own_writes():
+    txn = EngineTransaction(1, 0)
+    txn.buffer_insert("t", 1, {"id": 1, "v": 10})
+    hit, values = txn.buffered_read("t", 1)
+    assert hit and values["v"] == 10
+    txn.buffer_update("t", 1, {"v": 20})
+    hit, values = txn.buffered_read("t", 1)
+    assert hit and values["v"] == 20
+    txn.buffer_delete("t", 1)
+    hit, values = txn.buffered_read("t", 1)
+    assert hit and values is None
+    hit, _ = txn.buffered_read("t", 99)
+    assert not hit
+
+
+def test_writeset_collapses_multiple_writes_to_final_effect():
+    txn = EngineTransaction(1, 0)
+    txn.buffer_insert("t", 1, {"id": 1, "v": 1})
+    txn.buffer_update("t", 1, {"v": 2})
+    txn.buffer_update("t", 2, {"v": 5})
+    txn.buffer_delete("t", 3)
+    writeset = txn.extract_writeset()
+    ops = {item.key: item.op for item in writeset}
+    assert ops[1] is WriteOp.INSERT       # insert + update stays an insert
+    assert ops[2] is WriteOp.UPDATE
+    assert ops[3] is WriteOp.DELETE
+    assert len(writeset) == 3
+    assert txn.written_items() == frozenset({("t", 1), ("t", 2), ("t", 3)})
+
+
+def test_transaction_state_machine_transitions():
+    txn = EngineTransaction(1, 0)
+    txn.buffer_update("t", 1, {"v": 1})
+    txn.mark_prepared(9)
+    assert txn.status is TransactionStatus.PREPARED
+    assert txn.requested_commit_sequence == 9
+    txn.mark_committed(9)
+    assert txn.status is TransactionStatus.COMMITTED
+    with pytest.raises(InvalidTransactionState):
+        txn.mark_aborted()
+    with pytest.raises(InvalidTransactionState):
+        txn.buffer_update("t", 2, {"v": 2})
+
+
+def test_aborted_transaction_cannot_commit():
+    txn = EngineTransaction(1, 0)
+    txn.mark_aborted("test")
+    assert txn.abort_reason == "test"
+    with pytest.raises(InvalidTransactionState):
+        txn.mark_committed(5)
+
+
+# ----------------------------------------------------------------- analysis helpers
+
+def test_format_table_aligns_columns():
+    rows = [{"system": "base", "tps": 735}, {"system": "tashkent-mw", "tps": 3657}]
+    text = format_table(["system", "tps"], rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("system")
+    assert "3657" in text
+    assert len(lines) == 4  # header + separator + two rows
+
+
+def test_format_series_renders_pairs():
+    text = format_series([(1, 100.0), (15, 3657.4)], unit="tps")
+    assert "1:100.0tps" in text
+    assert "15:3657.4tps" in text
+
+
+def test_result_table_filter_and_columns():
+    table = ResultTable(columns=("system", "replicas", "tps"))
+    table.add_row({"system": "base", "replicas": 15, "tps": 735})
+    table.add_row({"system": "tashkent-mw", "replicas": 15, "tps": 3657})
+    table.add_row({"system": "base", "replicas": 1, "tps": 110})
+    assert len(table) == 3
+    assert table.column("system").count("base") == 2
+    filtered = table.filter(system="base", replicas=15)
+    assert len(filtered) == 1
+    assert filtered.rows[0]["tps"] == 735

@@ -1,0 +1,119 @@
+"""Unit tests for the write-ahead log, log devices and group commit."""
+
+import pytest
+
+from repro.core.writeset import make_writeset
+from repro.engine.log_device import CountingLogDevice, FileLogDevice
+from repro.engine.wal import WalRecord, WriteAheadLog
+from repro.errors import RecoveryError
+
+
+def record(version, key="k"):
+    return WalRecord(commit_version=version, txn_id=version, writeset=make_writeset([("t", key)]))
+
+
+def test_synchronous_commit_issues_one_sync_per_append():
+    wal = WriteAheadLog(synchronous_commit=True)
+    assert wal.append(record(1)) is True
+    assert wal.append(record(2)) is True
+    assert wal.sync_count == 2
+    assert wal.last_durable_version() == 2
+    assert wal.records_per_sync == pytest.approx(1.0)
+
+
+def test_asynchronous_commit_defers_durability():
+    wal = WriteAheadLog(synchronous_commit=False)
+    assert wal.append(record(1)) is False
+    assert wal.sync_count == 0
+    assert wal.durable_records == []
+    wal.flush()
+    assert wal.sync_count == 1
+    assert wal.last_durable_version() == 1
+
+
+def test_group_commit_batches_pending_records_into_one_sync():
+    wal = WriteAheadLog(synchronous_commit=False)
+    for version in range(1, 6):
+        wal.append(record(version))
+    wal.flush()
+    assert wal.sync_count == 1
+    assert wal.records_per_sync == pytest.approx(5.0)
+
+
+def test_append_many_groups_ordered_commits():
+    wal = WriteAheadLog(synchronous_commit=True)
+    wal.append_many([record(1), record(2), record(3)])
+    assert wal.sync_count == 1
+    assert wal.last_durable_version() == 3
+
+
+def test_set_synchronous_commit_switch():
+    wal = WriteAheadLog(synchronous_commit=True)
+    wal.set_synchronous_commit(False)
+    wal.append(record(1))
+    assert wal.sync_count == 0
+    wal.set_synchronous_commit(True)
+    wal.append(record(2))
+    assert wal.sync_count == 1
+    assert wal.last_durable_version() == 2
+
+
+def test_crash_loses_only_unflushed_records():
+    wal = WriteAheadLog(synchronous_commit=False)
+    wal.append(record(1))
+    wal.flush()
+    wal.append(record(2))
+    lost = wal.simulate_crash()
+    assert lost == 1
+    assert [r.commit_version for r in wal.durable_records] == [1]
+
+
+def test_checkpoint_records_are_excluded_from_recovery_replay():
+    wal = WriteAheadLog(synchronous_commit=True)
+    wal.append(record(1))
+    wal.checkpoint(1)
+    wal.append(record(2))
+    recovery = wal.records_for_recovery(after_version=0)
+    assert [r.commit_version for r in recovery] == [1, 2]
+    assert all(not r.is_checkpoint for r in recovery)
+    recovery_after = wal.records_for_recovery(after_version=1)
+    assert [r.commit_version for r in recovery_after] == [2]
+
+
+def test_wal_record_payload_round_trip():
+    original = WalRecord(
+        commit_version=7,
+        txn_id=3,
+        writeset=make_writeset([("accounts", 1), ("tellers", 2)]),
+    )
+    restored = WalRecord.from_payload(original.to_payload())
+    assert restored.commit_version == 7
+    assert restored.txn_id == 3
+    assert restored.writeset.item_ids == original.writeset.item_ids
+
+
+def test_wal_record_rejects_corrupt_payload():
+    with pytest.raises(RecoveryError):
+        WalRecord.from_payload(b"\x00\x01 not json")
+
+
+def test_counting_device_separates_durable_and_pending():
+    device = CountingLogDevice()
+    device.append(b"a")
+    assert device.pending_payloads == [b"a"]
+    device.sync()
+    device.append(b"b")
+    assert device.durable_payloads == [b"a"]
+    assert device.simulate_crash() == 1
+    assert device.pending_payloads == []
+    assert device.bytes_written == 2
+
+
+def test_file_device_appends_and_reads_back(tmp_path):
+    path = tmp_path / "wal" / "log.bin"
+    with FileLogDevice(str(path)) as device:
+        device.append(b"one")
+        device.append(b"two")
+        device.sync()
+        assert device.sync_count == 1
+        assert device.read_lines() == [b"one", b"two"]

@@ -1,0 +1,93 @@
+"""Tests for the certifier service (log durability + forced aborts)."""
+
+import pytest
+
+from repro.core.certification import CertificationRequest
+from repro.core.writeset import WriteSet, make_writeset
+from repro.middleware.certifier import CertifierConfig, CertifierService
+
+
+def request(keys, start=0, replica_version=0):
+    return CertificationRequest(
+        tx_start_version=start,
+        writeset=make_writeset([("t", k) for k in keys]),
+        replica_version=replica_version,
+    )
+
+
+def test_commit_decisions_are_durable_before_release():
+    service = CertifierService()
+    result = service.certify(request(["a"]))
+    assert result.committed
+    assert service.log.durable_version == 1
+    assert service.fsync_count == 1
+
+
+def test_durability_disabled_skips_the_critical_path_flush():
+    service = CertifierService(CertifierConfig(durability_enabled=False))
+    result = service.certify(request(["a"]))
+    assert result.committed
+    assert service.fsync_count == 0
+    assert service.log.durable_version == 0
+    # A later explicit flush (off the critical path) makes it durable.
+    assert service.flush() == 1
+    assert service.log.durable_version == 1
+
+
+def test_flush_groups_all_pending_writesets():
+    service = CertifierService(CertifierConfig(durability_enabled=False))
+    for key in "abcde":
+        service.certify(request([key]))
+    flushed = service.flush()
+    assert flushed == 5
+    assert service.fsync_count == 1
+    assert service.writesets_per_fsync == pytest.approx(5.0)
+
+
+def test_aborted_requests_write_nothing():
+    service = CertifierService()
+    service.certify(request(["x"]))
+    fsyncs = service.fsync_count
+    result = service.certify(request(["x"]))
+    assert not result.committed
+    assert service.fsync_count == fsyncs
+
+
+def test_forced_abort_rate_is_deterministic_per_seed():
+    config = CertifierConfig(forced_abort_rate=0.5, rng_seed=7)
+    outcomes_a = [
+        CertifierService(config).certify(request([f"k{i}"])).committed for i in range(20)
+    ]
+    outcomes_b = [
+        CertifierService(config).certify(request([f"k{i}"])).committed for i in range(20)
+    ]
+    assert outcomes_a == outcomes_b
+
+
+def test_forced_abort_rate_roughly_matches_target():
+    service = CertifierService(CertifierConfig(forced_abort_rate=0.4, rng_seed=3))
+    total = 400
+    aborted = 0
+    for i in range(total):
+        result = service.certify(request([f"key-{i}"]))
+        if not result.committed:
+            aborted += 1
+            assert result.forced_abort
+    assert 0.3 < aborted / total < 0.5
+
+
+def test_fetch_remote_writesets_serves_staleness_refresh():
+    service = CertifierService()
+    for key in "abc":
+        service.certify(request([key]))
+    remote = service.fetch_remote_writesets(1)
+    assert [info.commit_version for info in remote] == [2, 3]
+
+
+def test_stats_expose_paper_metrics():
+    service = CertifierService()
+    service.certify(request(["a"]))
+    stats = service.stats()
+    assert stats["fsyncs"] == 1.0
+    assert stats["commits"] == 1
+    assert stats["writesets_per_fsync"] == pytest.approx(1.0)

@@ -1,0 +1,218 @@
+"""Tests for the transparent proxy in all three system modes."""
+
+import pytest
+
+from repro.core.config import SystemKind
+from repro.engine.database import Database
+from repro.errors import CertificationAborted, InvalidTransactionState, TransactionAborted
+from repro.middleware.certifier import CertifierService
+from repro.middleware.proxy import TransparentProxy
+
+
+def make_proxy(system, certifier=None, name="replica-0"):
+    """Build one replica proxy.
+
+    The first proxy on a certifier loads the initial data; later proxies on
+    the same certifier receive it through remote writesets (refresh), exactly
+    like replicas joining the replicated system.
+    """
+    db = Database(name)
+    db.create_table("accounts", ["id", "balance"])
+    certifier = certifier or CertifierService()
+    proxy = TransparentProxy(db, certifier, system=system, replica_name=name)
+    if certifier.system_version == 0:
+        txn = proxy.begin()
+        for i in range(5):
+            proxy.insert(txn, "accounts", i, id=i, balance=100)
+        outcome = proxy.commit(txn)
+        assert outcome.committed
+    else:
+        proxy.refresh()
+    return proxy, certifier
+
+
+@pytest.mark.parametrize("system", [SystemKind.BASE, SystemKind.TASHKENT_MW, SystemKind.TASHKENT_API])
+def test_update_transaction_commits_through_certifier(system):
+    proxy, certifier = make_proxy(system)
+    txn = proxy.begin()
+    row = proxy.read(txn, "accounts", 1)
+    proxy.update(txn, "accounts", 1, balance=row["balance"] + 1)
+    outcome = proxy.commit(txn)
+    assert outcome.committed
+    assert outcome.commit_version == 2
+    assert proxy.replica_version.version == 2
+    assert certifier.system_version == 2
+
+
+@pytest.mark.parametrize("system", [SystemKind.BASE, SystemKind.TASHKENT_MW, SystemKind.TASHKENT_API])
+def test_readonly_transaction_never_contacts_certifier(system):
+    proxy, certifier = make_proxy(system)
+    requests_before = certifier.core.certification_requests
+    txn = proxy.begin()
+    proxy.read(txn, "accounts", 1)
+    outcome = proxy.commit(txn)
+    assert outcome.committed and outcome.readonly
+    assert certifier.core.certification_requests == requests_before
+
+
+def test_standalone_mode_has_no_proxy():
+    db = Database("solo")
+    with pytest.raises(InvalidTransactionState):
+        TransparentProxy(db, CertifierService(), system=SystemKind.STANDALONE)
+
+
+def test_tashkent_mw_disables_synchronous_commit_at_the_database():
+    proxy, _ = make_proxy(SystemKind.TASHKENT_MW)
+    assert proxy.database.synchronous_commit is False
+    base_proxy, _ = make_proxy(SystemKind.BASE, name="replica-1")
+    assert base_proxy.database.synchronous_commit is True
+
+
+def test_remote_writesets_are_applied_before_local_commit():
+    certifier = CertifierService()
+    proxy_a, _ = make_proxy(SystemKind.TASHKENT_MW, certifier, name="replica-A")
+    proxy_b, _ = make_proxy(SystemKind.TASHKENT_MW, certifier, name="replica-B")
+
+    txn_a = proxy_a.begin()
+    proxy_a.update(txn_a, "accounts", 1, balance=500)
+    assert proxy_a.commit(txn_a).committed
+
+    txn_b = proxy_b.begin()
+    proxy_b.update(txn_b, "accounts", 2, balance=700)
+    outcome = proxy_b.commit(txn_b)
+    assert outcome.committed
+    assert outcome.remote_writesets_applied >= 1
+    reader = proxy_b.begin()
+    assert proxy_b.read(reader, "accounts", 1)["balance"] == 500
+    assert proxy_b.replica_version.version == certifier.system_version
+
+
+def test_certification_conflict_aborts_second_writer_across_replicas():
+    certifier = CertifierService()
+    proxy_a, _ = make_proxy(SystemKind.BASE, certifier, name="replica-A")
+    proxy_b, _ = make_proxy(SystemKind.BASE, certifier, name="replica-B")
+
+    txn_a = proxy_a.begin()
+    txn_b = proxy_b.begin()
+    proxy_a.update(txn_a, "accounts", 3, balance=1)
+    proxy_b.update(txn_b, "accounts", 3, balance=2)
+    assert proxy_a.commit(txn_a).committed
+    outcome_b = proxy_b.commit(txn_b)
+    assert not outcome_b.committed
+    assert outcome_b.abort_reason in ("certification", "local-certification")
+
+
+def test_local_certification_aborts_without_round_trip():
+    certifier = CertifierService()
+    proxy_a, _ = make_proxy(SystemKind.BASE, certifier, name="replica-A")
+    proxy_b, _ = make_proxy(SystemKind.BASE, certifier, name="replica-B")
+
+    # Replica A commits an update to account 4; replica B then refreshes so
+    # its proxy_log contains that remote writeset.
+    txn_a = proxy_a.begin()
+    proxy_a.update(txn_a, "accounts", 4, balance=9)
+    proxy_a.commit(txn_a)
+    # B starts a conflicting transaction *before* refreshing, so its start
+    # version predates the remote writeset.
+    txn_b = proxy_b.begin()
+    proxy_b.refresh()
+    requests_before = certifier.core.certification_requests
+    with pytest.raises(CertificationAborted):
+        # Eager pre-certification catches the conflict at write time.
+        proxy_b.update(txn_b, "accounts", 4, balance=1)
+    assert certifier.core.certification_requests == requests_before
+    assert proxy_b.stats.eager_precert_aborts == 1
+
+
+def test_eager_precertification_can_be_disabled():
+    certifier = CertifierService()
+    proxy_a, _ = make_proxy(SystemKind.BASE, certifier, name="replica-A")
+    db_b = Database("replica-B")
+    db_b.create_table("accounts", ["id", "balance"])
+    proxy_b = TransparentProxy(db_b, certifier, system=SystemKind.BASE,
+                               replica_name="replica-B", eager_pre_certification=False)
+    proxy_b.refresh()  # pick up A's initial data
+
+    txn_a = proxy_a.begin()
+    proxy_a.update(txn_a, "accounts", 4, balance=9)
+    proxy_a.commit(txn_a)
+
+    txn_b = proxy_b.begin()
+    proxy_b.refresh()
+    # With the proxy's eager pre-certification off, the conflict is still
+    # caught — but by the database's own first-updater-wins check (or, had
+    # the row not been applied locally yet, by certification) rather than by
+    # the proxy.
+    with pytest.raises(TransactionAborted):
+        proxy_b.update(txn_b, "accounts", 4, balance=1)
+    assert proxy_b.stats.eager_precert_aborts == 0
+
+
+def test_bounded_staleness_refresh_pulls_missed_writesets():
+    certifier = CertifierService()
+    proxy_a, _ = make_proxy(SystemKind.TASHKENT_MW, certifier, name="replica-A")
+    proxy_b, _ = make_proxy(SystemKind.TASHKENT_MW, certifier, name="replica-B")
+    for i in range(3):
+        txn = proxy_a.begin()
+        proxy_a.update(txn, "accounts", i, balance=i)
+        proxy_a.commit(txn)
+    applied = proxy_b.refresh()
+    assert applied == 3
+    assert proxy_b.replica_version.version == certifier.system_version
+    # One refresh when the replica joined plus this explicit one.
+    assert proxy_b.stats.staleness_refreshes == 2
+
+
+def test_api_mode_groups_commit_records_per_flush():
+    certifier = CertifierService()
+    proxy_a, _ = make_proxy(SystemKind.TASHKENT_API, certifier, name="replica-A")
+    proxy_b, _ = make_proxy(SystemKind.TASHKENT_API, certifier, name="replica-B")
+    # A commits several updates; B then commits one of its own, dragging in
+    # all of A's writesets as remote writesets.
+    for i in range(4):
+        txn = proxy_a.begin()
+        proxy_a.update(txn, "accounts", i, balance=i)
+        assert proxy_a.commit(txn).committed
+    fsyncs_before = proxy_b.database.fsync_count
+    txn_b = proxy_b.begin()
+    proxy_b.update(txn_b, "accounts", 4, balance=40)
+    outcome = proxy_b.commit(txn_b)
+    assert outcome.committed
+    assert outcome.remote_writesets_applied == 4
+    # All four remote writesets plus the local commit shared one flush
+    # because AllUpdates-style writesets never artificially conflict.
+    assert proxy_b.database.fsync_count - fsyncs_before == 1
+    # The grouped flush carried all five commit records at once.
+    assert proxy_b.database.wal.stats.records_appended >= 5
+    assert proxy_b.database.wal.records_per_sync >= 2.5
+
+
+def test_api_mode_serialises_artificially_conflicting_remote_writesets():
+    certifier = CertifierService()
+    proxy_a, _ = make_proxy(SystemKind.TASHKENT_API, certifier, name="replica-A")
+    proxy_b, _ = make_proxy(SystemKind.TASHKENT_API, certifier, name="replica-B")
+    # Two sequential (non-concurrent) transactions at A touch the same row:
+    # at B they arrive as remote writesets that artificially conflict.
+    for balance in (111, 222):
+        txn = proxy_a.begin()
+        proxy_a.update(txn, "accounts", 0, balance=balance)
+        assert proxy_a.commit(txn).committed
+    fsyncs_before = proxy_b.database.fsync_count
+    txn_b = proxy_b.begin()
+    proxy_b.update(txn_b, "accounts", 4, balance=4)
+    outcome = proxy_b.commit(txn_b)
+    assert outcome.committed
+    assert proxy_b.stats.artificial_conflicts >= 1
+    # The conflicting remote writesets need separate flushes.
+    assert proxy_b.database.fsync_count - fsyncs_before >= 2
+    reader = proxy_b.begin()
+    assert proxy_b.read(reader, "accounts", 0)["balance"] == 222
+
+
+def test_commit_on_aborted_transaction_raises():
+    proxy, _ = make_proxy(SystemKind.BASE)
+    txn = proxy.begin()
+    proxy.update(txn, "accounts", 1, balance=1)
+    proxy.abort(txn)
+    with pytest.raises(TransactionAborted):
+        proxy.commit(txn)

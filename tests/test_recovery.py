@@ -1,0 +1,151 @@
+"""Tests for replica/certifier recovery procedures and the timing model."""
+
+import pytest
+
+from repro.consensus.group import ReplicatedCertifierGroup
+from repro.core.certification import CertificationRequest
+from repro.core.writeset import make_writeset
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.database import Database
+from repro.engine.recovery import verify_same_state
+from repro.middleware.certifier import CertifierService
+from repro.recovery.certifier_recovery import recover_certifier_node
+from repro.recovery.replica_recovery import (
+    recover_base_replica,
+    recover_tashkent_mw_replica,
+    replay_writesets_from_certifier,
+)
+from repro.recovery.timings import RecoveryTimingModel
+
+
+def build_certified_history(n=6):
+    """A certifier whose log contains ``n`` account updates."""
+    certifier = CertifierService()
+    for i in range(n):
+        certifier.certify(
+            CertificationRequest(
+                tx_start_version=i,
+                writeset=make_writeset([("accounts", i % 3)]),
+                replica_version=i,
+            )
+        )
+    return certifier
+
+
+def fresh_db(sync=True):
+    db = Database("replica", synchronous_commit=sync)
+    db.create_table("accounts", ["id"])
+    return db
+
+
+def test_replay_writesets_brings_database_to_certifier_version():
+    certifier = build_certified_history()
+    db = fresh_db()
+    replayed = replay_writesets_from_certifier(db, certifier.log)
+    assert replayed == 6
+    assert db.current_version == certifier.system_version
+    # Replay is idempotent.
+    assert replay_writesets_from_certifier(db, certifier.log) == 0
+
+
+def test_tashkent_mw_recovery_from_dump_plus_replay():
+    certifier = build_certified_history(4)
+    db = fresh_db(sync=False)
+    replay_writesets_from_certifier(db, certifier.log)
+    store = CheckpointStore()
+    store.add(db.dump())
+    # More commits happen after the dump was taken.
+    for i in range(4, 6):
+        certifier.certify(
+            CertificationRequest(tx_start_version=i, writeset=make_writeset([("accounts", i)]),
+                                 replica_version=i)
+        )
+    report = recover_tashkent_mw_replica(store, certifier.log)
+    assert report.used_checkpoint_version == 4
+    assert report.writesets_replayed == 2
+    assert report.final_version == certifier.system_version
+
+
+def test_tashkent_mw_recovery_falls_back_to_older_dump():
+    certifier = build_certified_history(3)
+    db = fresh_db(sync=False)
+    replay_writesets_from_certifier(db, certifier.log)
+    store = CheckpointStore()
+    store.add(db.dump())
+    store.add(db.dump().corrupted_copy())  # crashed while writing the newer dump
+    report = recover_tashkent_mw_replica(store, certifier.log)
+    assert report.final_version == certifier.system_version
+
+
+def test_base_recovery_wal_redo_plus_replay():
+    certifier = build_certified_history(5)
+    db = fresh_db(sync=True)
+    # The replica applied only the first three writesets before crashing.
+    for record in certifier.log.records_between(0, 3):
+        db.apply_writeset(record.writeset, version=record.commit_version)
+    schemas = [t.schema for t in db.tables.values()]
+    db.simulate_crash()
+    report = recover_base_replica(db.wal, schemas, certifier.log, database_name="replica")
+    assert report.recovered_to_version == 3
+    assert report.writesets_replayed == 2
+    assert report.final_version == 5
+
+
+def test_recovered_replicas_converge_to_the_same_state():
+    certifier = build_certified_history(6)
+    healthy = fresh_db()
+    replay_writesets_from_certifier(healthy, certifier.log)
+
+    store = CheckpointStore()
+    crashed = fresh_db(sync=False)
+    replay_writesets_from_certifier(crashed, certifier.log)
+    store.add(crashed.dump())
+    report = recover_tashkent_mw_replica(store, certifier.log)
+    assert verify_same_state(healthy, report.database)
+
+
+def test_certifier_node_recovery_report():
+    group = ReplicatedCertifierGroup(3)
+    for i in range(3):
+        group.certify(
+            CertificationRequest(tx_start_version=i, writeset=make_writeset([("t", i)]),
+                                 replica_version=i)
+        )
+    group.crash_node(0)  # the leader
+    group.elect_new_leader()
+    group.certify(
+        CertificationRequest(tx_start_version=3, writeset=make_writeset([("t", 99)]),
+                             replica_version=3)
+    )
+    report = recover_certifier_node(group, 0)
+    assert report.entries_transferred >= 1
+    assert report.group_has_quorum
+    assert group.logs_consistent()
+
+
+# ----------------------------------------------------------------- timing model (Section 9.6)
+
+def test_timing_model_reproduces_paper_numbers():
+    model = RecoveryTimingModel()
+    timings = model.timings(downtime_hours=1.0)
+    assert timings.dump_seconds == pytest.approx(230.0, rel=0.01)
+    assert timings.restore_seconds == pytest.approx(140.0, rel=0.01)
+    assert 2.0 <= timings.wal_recovery_seconds <= 4.0
+    # ~222 seconds of writeset replay per hour of downtime.
+    assert timings.writeset_replay_seconds == pytest.approx(224.0, rel=0.05)
+    # ~1 second of certifier log transfer per hour of downtime.
+    assert 0.2 <= timings.certifier_transfer_seconds <= 3.0
+    # Base/API recovery is far faster than restoring a Tashkent-MW dump.
+    assert timings.base_total_seconds < timings.tashkent_mw_total_seconds
+
+
+def test_timing_model_scales_with_downtime_and_size():
+    model = RecoveryTimingModel()
+    assert model.writeset_replay_seconds(2.0) == pytest.approx(
+        2 * model.writeset_replay_seconds(1.0)
+    )
+    assert model.dump_seconds(350 * 1024 * 1024) == pytest.approx(115.0, rel=0.01)
+    assert model.certifier_log_growth_bytes_per_hour() == pytest.approx(
+        56 * 3600 * 275, rel=0.01
+    )
+    assert model.writesets_missed(1.0) == 201_600

@@ -1,0 +1,94 @@
+"""Tests for the three workload generators (simulation and functional forms)."""
+
+import pytest
+
+from repro.core.config import WorkloadName, WRITESET_SIZE_BYTES
+from repro.middleware.systems import build_tashkent_mw_system
+from repro.sim.rng import RandomStreams
+from repro.workloads import AllUpdatesWorkload, TPCBWorkload, TPCWWorkload
+from repro.workloads.spec import workload_by_name
+
+
+@pytest.mark.parametrize("name,cls", [
+    (WorkloadName.ALL_UPDATES, AllUpdatesWorkload),
+    (WorkloadName.TPC_B, TPCBWorkload),
+    (WorkloadName.TPC_W, TPCWWorkload),
+])
+def test_workload_by_name_builds_the_right_class(name, cls):
+    workload = workload_by_name(name, num_replicas=3)
+    assert isinstance(workload, cls)
+    assert workload.num_replicas == 3
+    assert workload.describe()["name"] == name.value
+
+
+def test_allupdates_transactions_never_conflict():
+    workload = AllUpdatesWorkload(num_replicas=2)
+    rng = RandomStreams(1)
+    profiles = [
+        workload.next_transaction(rng, replica_index=r, client_index=c, sequence=s)
+        for r in range(2) for c in range(3) for s in range(4)
+    ]
+    assert all(not p.readonly for p in profiles)
+    for i, a in enumerate(profiles):
+        for b in profiles[i + 1:]:
+            assert not a.writeset.conflicts_with(b.writeset)
+
+
+def test_allupdates_writeset_size_close_to_paper():
+    workload = AllUpdatesWorkload()
+    profile = workload.next_transaction(RandomStreams(1), replica_index=0, client_index=0, sequence=0)
+    paper = WRITESET_SIZE_BYTES[WorkloadName.ALL_UPDATES]
+    assert 0.5 * paper <= profile.writeset.size_bytes() <= 2.0 * paper
+
+
+def test_tpcb_transactions_touch_account_teller_branch_history():
+    workload = TPCBWorkload(num_replicas=1)
+    profile = workload.next_transaction(RandomStreams(2), replica_index=0, client_index=0, sequence=0)
+    assert profile.writeset.tables() == {"accounts", "tellers", "branches", "history"}
+    assert not profile.readonly
+    paper = WRITESET_SIZE_BYTES[WorkloadName.TPC_B]
+    assert 0.5 * paper <= profile.writeset.size_bytes() <= 2.5 * paper
+
+
+def test_tpcb_hot_branches_produce_some_conflicts():
+    workload = TPCBWorkload(num_replicas=1)
+    rng = RandomStreams(3)
+    profiles = [
+        workload.next_transaction(rng, replica_index=0, client_index=0, sequence=s)
+        for s in range(300)
+    ]
+    conflicts = sum(
+        1 for a, b in zip(profiles, profiles[1:]) if a.writeset.conflicts_with(b.writeset)
+    )
+    assert conflicts > 0  # hot rows exist...
+    assert conflicts < len(profiles) / 2  # ...but most pairs do not collide
+
+
+def test_tpcw_shopping_mix_update_fraction():
+    workload = TPCWWorkload(num_replicas=1)
+    rng = RandomStreams(4)
+    profiles = [
+        workload.next_transaction(rng, replica_index=0, client_index=0, sequence=s)
+        for s in range(1000)
+    ]
+    update_fraction = sum(1 for p in profiles if not p.readonly) / len(profiles)
+    assert 0.15 < update_fraction < 0.25  # the 20% shopping mix
+    update_profile = next(p for p in profiles if not p.readonly)
+    assert update_profile.exec_cpu_ms > 0
+    assert update_profile.writeset.size_bytes() > 100
+
+
+@pytest.mark.parametrize("workload_cls", [AllUpdatesWorkload, TPCBWorkload, TPCWWorkload])
+def test_functional_form_runs_against_the_real_replicated_system(workload_cls):
+    workload = workload_cls(num_replicas=2)
+    system = build_tashkent_mw_system(num_replicas=2)
+    system.create_tables_from_schemas(workload.schemas())
+    system.load_initial_data(workload.setup)
+    rng = RandomStreams(7)
+    committed = 0
+    for i in range(12):
+        session = system.session(i % 2, client_name=f"c{i % 2}")
+        if workload.run_transaction(session, rng, client_index=i % 4, sequence=i):
+            committed += 1
+    assert committed >= 8  # a few aborts are fine (conflicts), most must commit
+    assert system.replicas_consistent()
