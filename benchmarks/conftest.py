@@ -5,6 +5,15 @@ evaluation (Section 9).  The sweeps run the discrete-event simulation with
 reduced measurement windows and a compressed replica-count axis so the whole
 harness finishes in a few minutes; set ``REPRO_BENCH_MEASURE_MS`` /
 ``REPRO_BENCH_REPLICAS`` to trade time for smoother curves.
+
+The certifier micro-benchmark (``test_certifier_scaling.py``) has its own
+knobs: ``REPRO_BENCH_CERT_LOG_LENS`` (comma-separated pre-seeded log
+lengths, default ``1000,10000``), ``REPRO_BENCH_CERT_WS_SIZES``
+(comma-separated writeset sizes, default ``1,10``) and
+``REPRO_BENCH_CERT_SECONDS`` (measurement window per configuration and
+mode, default ``0.4``).  CI smoke runs shrink all three; the indexed-vs-scan
+speedup assertion only arms itself for configurations at the paper-scale
+point (log length ≥ 10000, writeset size ≥ 10).
 """
 
 from __future__ import annotations
@@ -29,6 +38,15 @@ WARMUP_MS = float(os.environ.get("REPRO_BENCH_WARMUP_MS", "400"))
 REPLICA_COUNTS = tuple(
     int(n) for n in os.environ.get("REPRO_BENCH_REPLICAS", "1,4,8,15").split(",")
 )
+
+#: Certifier micro-benchmark axes (see test_certifier_scaling.py).
+CERT_LOG_LENGTHS = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_CERT_LOG_LENS", "1000,10000").split(",")
+)
+CERT_WS_SIZES = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_CERT_WS_SIZES", "1,10").split(",")
+)
+CERT_MEASURE_SECONDS = float(os.environ.get("REPRO_BENCH_CERT_SECONDS", "0.4"))
 
 #: The four curves of the throughput/response figures.
 FIGURE_SYSTEMS = (

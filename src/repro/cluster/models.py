@@ -56,6 +56,16 @@ class SystemModel(abc.ABC):
             )
             for index in range(config.num_replicas)
         ]
+        if self.certifier_node is not None:
+            # Every replica joins the log-GC low-water-mark protocol up front
+            # so the certifier never prunes records an idle replica still
+            # needs (see repro.core.certification), and periodically reports
+            # its applied version so a read-heavy replica that rarely
+            # certifies cannot pin the low-water mark at 0 forever.
+            for replica in self.replicas:
+                self.certifier_node.register_replica(replica.name)
+                env.process(self._gc_heartbeat(replica),
+                            name=f"{replica.name}-gc-heartbeat")
 
     # -- construction ------------------------------------------------------------
 
@@ -114,6 +124,23 @@ class SystemModel(abc.ABC):
         )
         result = yield from self.certifier_node.certify(request)
         return result
+
+    def _gc_heartbeat(self, replica: SimReplicaNode) -> Generator:
+        """Report ``replica``'s applied version to the certifier periodically.
+
+        Piggybacks on the bounded-staleness period (Section 6.2): a tiny
+        heartbeat message that feeds the log-GC low-water mark, nothing more.
+        Certification requests carry the same information for replicas that
+        commit updates; this covers the ones that mostly read.
+        """
+        assert self.certifier_node is not None
+        period = self.config.staleness_bound_ms
+        while True:
+            yield self.env.timeout(period)
+            yield self.certifier_node.network.transfer(16)
+            self.certifier_node.certifier.note_replica_version(
+                replica.name, replica.replica_version
+            )
 
     def _apply_remote_cpu(self, replica: SimReplicaNode, count: int) -> Generator:
         """Charge the CPU cost of applying ``count`` remote writesets."""

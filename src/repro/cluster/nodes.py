@@ -34,6 +34,11 @@ class SimCertifierNode:
     #: CPU cost of one certification check (writeset intersection is "a fast
     #: main memory operation", an order of magnitude below execution cost).
     certify_cpu_ms = 0.05
+    #: Run log garbage collection every this many group flushes (0 disables).
+    gc_interval_flushes = 64
+    #: Records kept below the replicas' low-water mark (see
+    #: :mod:`repro.core.certification` on the GC protocol).
+    gc_headroom_versions = 512
 
     def __init__(
         self,
@@ -59,7 +64,12 @@ class SimCertifierNode:
         )
         self._flush_queue: Store = Store(env, name=f"{name}-flush-queue")
         self.batch_stats = GroupCommitStats()
+        self._flushes_since_gc = 0
         env.process(self._log_writer(), name=f"{name}-log-writer")
+
+    def register_replica(self, replica_name: str, version: int = 0) -> None:
+        """Enrol a replica in the log-GC low-water-mark protocol."""
+        self.certifier.note_replica_version(replica_name, version)
 
     # -- protocol fragments ------------------------------------------------------
 
@@ -85,11 +95,21 @@ class SimCertifierNode:
         yield self.network.transfer(result.response_size_bytes())
         return result
 
-    def fetch_remote(self, replica_version: int, check_back_to: int | None = None) -> Generator:
-        """Process fragment: a bounded-staleness pull of remote writesets."""
+    def fetch_remote(self, replica_version: int, check_back_to: int | None = None,
+                     *, replica: str | None = None) -> Generator:
+        """Process fragment: a bounded-staleness pull of remote writesets.
+
+        ``replica`` identifies the caller for the log-GC protocol — required
+        when pulling with a view below the GC horizon, and it advances the
+        caller's watermark as a side effect.  Note the periodic watermark
+        reporting for read-heavy replicas is done by the system model's GC
+        heartbeat, not by this fragment (which currently has no callers in
+        the shipped models).
+        """
         yield self.network.transfer(32)
         yield from self.cpu.execute(self.certify_cpu_ms)
-        remote = self.certifier.fetch_remote_writesets(replica_version, check_back_to)
+        remote = self.certifier.fetch_remote_writesets(replica_version, check_back_to,
+                                                       replica=replica)
         size = 32 + sum(info.size_bytes() for info in remote)
         yield self.network.transfer(size)
         return remote
@@ -108,6 +128,12 @@ class SimCertifierNode:
             for _version, durable in batch:
                 if durable is not None:
                     durable.succeed()
+            # Off the critical path: bound the log by pruning the durable
+            # prefix below the replicas' low-water mark every few flushes.
+            self._flushes_since_gc += 1
+            if self.gc_interval_flushes and self._flushes_since_gc >= self.gc_interval_flushes:
+                self._flushes_since_gc = 0
+                self.certifier.collect_garbage(headroom=self.gc_headroom_versions)
 
     # -- statistics -----------------------------------------------------------------------
 

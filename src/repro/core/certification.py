@@ -15,6 +15,34 @@ Durability of the log (the group-commit flush) is *not* performed here — the
 caller (the functional certifier service in :mod:`repro.middleware.certifier`
 or the simulated certifier node in :mod:`repro.cluster`) owns the IO so that
 the same certification logic is reused in both paths.
+
+Indexed certification and log garbage collection
+================================================
+
+The conflict check delegates to the :class:`CertifierLog` inverted version
+index (see that module's docstring for the design and complexity table), so
+a certification request costs O(|writeset|) dict probes instead of a scan
+over every record after ``tx_start_version``.
+
+The certifier also owns the **low-water-mark protocol** that bounds the log:
+
+* every certification request carries ``(origin_replica, replica_version)``;
+  :meth:`Certifier.certify` records the highest version reported per replica
+  (:meth:`Certifier.note_replica_version` can be called directly for
+  replicas that only ever read, and by cluster models at start-up so an
+  idle replica is never pruned past).
+* the low-water mark is the minimum reported version across all known
+  replicas; no replica will re-request records at or below it.
+* :meth:`Certifier.collect_garbage` prunes the log to ``low-water mark −
+  headroom`` (clamped to the durable horizon).  The headroom keeps a margin
+  of recent records so in-flight transactions whose ``tx_start_version``
+  slightly trails their replica's reported version never hit the horizon.
+* a request whose ``tx_start_version`` nevertheless predates the GC horizon
+  is conservatively aborted ("snapshot too old") — aborting never violates
+  snapshot-isolation safety.
+
+Callers (the middleware service and the simulated certifier node) decide
+*when* to collect garbage; the policy knobs live with them.
 """
 
 from __future__ import annotations
@@ -26,6 +54,7 @@ from typing import Callable
 from repro.core.certifier_log import CertifierLog, LogRecord
 from repro.core.versions import VersionClock
 from repro.core.writeset import WriteSet
+from repro.errors import LogPrunedError
 
 
 class CertificationDecision(str, enum.Enum):
@@ -44,7 +73,10 @@ class CertificationRequest:
     #: The replica's current ``replica_version``; remote writesets committed
     #: after this version are returned with the response.
     replica_version: int
-    origin_replica: str = "replica-0"
+    #: Identity of the requesting replica.  Enrolls the replica in the log-GC
+    #: low-water-mark protocol; empty means anonymous — the request is served
+    #: (when its window is retained) but never constrains garbage collection.
+    origin_replica: str = ""
     #: Under Tashkent-API the proxy asks that the returned remote writesets
     #: be conflict-checked back to this version so it can safely submit them
     #: concurrently (Section 5.2.1).  ``None`` disables the extended check.
@@ -118,6 +150,9 @@ class Certifier:
         self.system_version = VersionClock(self.log.last_version)
         self.forced_abort_rate = forced_abort_rate
         self._abort_chooser = abort_chooser
+        #: Highest version each known replica has reported having applied.
+        #: The minimum across replicas is the log-GC low-water mark.
+        self._replica_versions: dict[str, int] = {}
         # Statistics used by the evaluation harness.
         self.certification_requests = 0
         self.commits = 0
@@ -125,11 +160,26 @@ class Certifier:
         self.forced_aborts = 0
         self.readonly_requests = 0
         self.intersection_tests = 0
+        self.snapshot_too_old_aborts = 0
+        self.gc_runs = 0
 
     # -- main entry point ----------------------------------------------------
 
     def certify(self, request: CertificationRequest) -> CertificationResult:
         """Process one certification request (paper Section 6.1 pseudo-code)."""
+        result = self._certify(request)
+        # Enroll the replica's watermark only after the request was accepted:
+        # a refused below-horizon requester (LogPrunedError above) must not
+        # enter the low-water-mark computation, where its stale version would
+        # pin GC forever.
+        self.note_replica_version(request.origin_replica, request.replica_version)
+        return result
+
+    def _certify(self, request: CertificationRequest) -> CertificationResult:
+        # Refuse an unserveable remote-writeset window BEFORE any mutation:
+        # raising after the commit record is appended would leave a committed
+        # writeset the caller never learns about (retry double-commits it).
+        self._check_remote_window(request)
         self.certification_requests += 1
         writeset = request.writeset
 
@@ -146,6 +196,11 @@ class Certifier:
         conflicting_version = self._find_conflict(writeset, request.tx_start_version)
         if conflicting_version is not None:
             self.aborts += 1
+            if request.tx_start_version < self.log.pruned_version:
+                # The snapshot predates the GC horizon; the abort is the
+                # conservative "snapshot too old" answer, not a proven
+                # write-write conflict.
+                self.snapshot_too_old_aborts += 1
             return CertificationResult(
                 decision=CertificationDecision.ABORT,
                 tx_commit_version=None,
@@ -170,7 +225,7 @@ class Certifier:
             LogRecord(
                 commit_version=commit_version,
                 writeset=writeset,
-                origin_replica=request.origin_replica,
+                origin_replica=request.origin_replica or "unknown",
                 certified_back_to=request.tx_start_version,
             )
         )
@@ -183,29 +238,104 @@ class Certifier:
         )
 
     def fetch_remote_writesets(self, replica_version: int,
-                               check_back_to: int | None = None) -> list[RemoteWriteSetInfo]:
+                               check_back_to: int | None = None,
+                               *, replica: str | None = None) -> list[RemoteWriteSetInfo]:
         """Remote writesets committed after ``replica_version``.
 
         Used by the bounded-staleness refresh (Section 6.2) when a replica has
-        not heard from the certifier for a while.
+        not heard from the certifier for a while.  Passing ``replica`` also
+        advances that replica's GC watermark, so idle replicas that only ever
+        refresh keep feeding the low-water mark — and identifies the caller,
+        which is required to be served from below the GC horizon (an
+        anonymous request below the horizon raises
+        :class:`~repro.errors.LogPrunedError`).
         """
         request = CertificationRequest(
             tx_start_version=replica_version,
             writeset=WriteSet(),
             replica_version=replica_version,
+            origin_replica=replica if replica is not None else "",
             check_remote_back_to=check_back_to,
         )
-        return self._remote_writesets_for(request)
+        remote = self._remote_writesets_for(request)
+        # As in certify: enroll the watermark only for accepted requests.
+        if replica is not None:
+            self.note_replica_version(replica, replica_version)
+        return remote
 
     # -- internals -----------------------------------------------------------
 
     def _find_conflict(self, writeset: WriteSet, after_version: int) -> int | None:
-        """First conflicting commit version after ``after_version``."""
-        for record in self.log.records_after(after_version):
-            self.intersection_tests += 1
-            if writeset.conflicts_with(record.writeset):
-                return record.commit_version
-        return None
+        """First conflicting commit version after ``after_version``.
+
+        One indexed probe per distinct item in the writeset, independent of
+        log length.  The ``intersection_tests`` statistic counts these item
+        probes uniformly across the certify and extend-certification paths
+        (in scan mode the probes are the same; only their unit cost differs).
+        """
+        self.intersection_tests += writeset.distinct_item_count()
+        return self.log.first_conflicting_version(writeset, after_version)
+
+    # -- log garbage collection (low-water-mark protocol) ---------------------
+
+    def note_replica_version(self, replica: str, version: int) -> None:
+        """Record that ``replica`` has applied remote writesets up to ``version``.
+
+        Watermarks only move forward; a stale report never lowers one.
+        Anonymous reports (empty name) are ignored — they would register a
+        phantom replica that caps garbage collection forever.
+        """
+        if replica and version > self._replica_versions.get(replica, -1):
+            self._replica_versions[replica] = version
+
+    def forget_replica(self, replica: str) -> None:
+        """Drop a disconnected replica from the low-water-mark computation.
+
+        Its recovery path must then use a dump no older than the GC horizon
+        (or a full state transfer) rather than log replay.
+        """
+        self._replica_versions.pop(replica, None)
+
+    def low_water_mark(self) -> int | None:
+        """Minimum reported replica version, or ``None`` before any report."""
+        if not self._replica_versions:
+            return None
+        return min(self._replica_versions.values())
+
+    def collect_garbage(self, *, headroom: int = 0) -> int:
+        """Prune the log below the low-water mark (minus ``headroom``).
+
+        Returns the number of records pruned.  A no-op until every known
+        replica has reported a version; the log itself additionally clamps
+        the horizon to its durable prefix.
+        """
+        low_water = self.low_water_mark()
+        if low_water is None:
+            return 0
+        pruned = self.log.prune_to(low_water - headroom)
+        if pruned:
+            self.gc_runs += 1
+        return pruned
+
+    def _check_remote_window(self, request: CertificationRequest) -> int:
+        """Validate that the requester's remote-writeset window is serveable.
+
+        Returns the GC horizon (the effective lower bound of the window).
+        Only a replica whose *own* recorded watermark reached the horizon may
+        be served from it: its newer reports prove it already applied the
+        pruned prefix, so a below-horizon ``replica_version`` is just a
+        delayed view (and the proxy's claim_remote filter is idempotent).
+        GC never prunes past the minimum watermark, so every registered
+        replica qualifies.  An unknown or never-caught-up requester would
+        silently lose the pruned writesets — raise
+        :class:`~repro.errors.LogPrunedError` instead; it must bootstrap
+        from a dump / state transfer.
+        """
+        pruned = self.log.pruned_version
+        if (request.replica_version < pruned
+                and self._replica_versions.get(request.origin_replica, -1) < pruned):
+            raise LogPrunedError(request.replica_version, pruned)
+        return pruned
 
     def _should_force_abort(self) -> bool:
         if self.forced_abort_rate <= 0.0:
@@ -227,12 +357,13 @@ class Certifier:
         """
         remote: list[RemoteWriteSetInfo] = []
         back_to = request.check_remote_back_to
-        for record in self.log.records_after(request.replica_version):
+        after = max(request.replica_version, self._check_remote_window(request))
+        for record in self.log.records_after(after):
             if exclude_version is not None and record.commit_version == exclude_version:
                 continue
             horizon = self.log.certified_back_to(record.commit_version)
             if back_to is not None and back_to < horizon:
-                self.intersection_tests += 1
+                self.intersection_tests += record.writeset.distinct_item_count()
                 if self.log.extend_certification(record.commit_version, back_to):
                     horizon = back_to
                 else:
@@ -267,4 +398,9 @@ class Certifier:
             "abort_rate": self.abort_rate,
             "system_version": self.system_version.version,
             "log_length": self.log.last_version,
+            "log_retained_records": self.log.retained_count,
+            "log_pruned_version": self.log.pruned_version,
+            "log_pruned_records_total": self.log.pruned_records_total,
+            "snapshot_too_old_aborts": self.snapshot_too_old_aborts,
+            "gc_runs": self.gc_runs,
         }

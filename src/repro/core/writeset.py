@@ -7,11 +7,17 @@ column values (for inserts and updates).  Certification only needs the
 *identity* of modified items — two writesets conflict when they touch the
 same ``(table, key)`` pair — while replication needs the values so remote
 replicas can re-apply the modification without re-executing SQL.
+
+Item identities are *interned*: every ``(table, key)`` tuple flowing through
+the certifier's hot path is shared via a module-level cache, so hot keys
+(e.g. the TPC-B branch rows) hash once and compare by pointer in the common
+case instead of allocating a fresh tuple per access.
 """
 
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
@@ -22,6 +28,45 @@ class WriteOp(str, enum.Enum):
     INSERT = "insert"
     UPDATE = "update"
     DELETE = "delete"
+
+
+#: Shared ``(table, key)`` tuples keyed by themselves.  Capped so workloads
+#: that write ever-new keys (bulk inserts) cannot grow it without bound; at
+#: the cap the cache resets wholesale (an epoch flip) rather than freezing,
+#: so genuinely hot identities re-intern within a few touches while the cold
+#: flood that filled it is released.  Sharing is an optimisation only —
+#: identity tuples compare equal whether or not they were interned.
+_ITEM_ID_CACHE: dict[tuple[str, object], tuple[str, object]] = {}
+_ITEM_ID_CACHE_MAX = 1 << 20
+
+
+def intern_item_id(table: str, key: object) -> tuple[str, object]:
+    """Return a canonical shared ``(table, key)`` tuple.
+
+    Unhashable keys (never produced by the engine, but permitted by the
+    forgiving ``WriteItem`` API) fall back to a fresh tuple.
+    """
+    item_id = (sys.intern(table) if type(table) is str else table, key)
+    try:
+        cached = _ITEM_ID_CACHE.get(item_id)
+    except TypeError:
+        return item_id
+    if cached is not None:
+        return cached
+    if len(_ITEM_ID_CACHE) >= _ITEM_ID_CACHE_MAX:
+        _ITEM_ID_CACHE.clear()
+    _ITEM_ID_CACHE[item_id] = item_id
+    return item_id
+
+
+def intern_cache_size() -> int:
+    """Number of distinct item identities currently interned (diagnostics)."""
+    return len(_ITEM_ID_CACHE)
+
+
+def clear_intern_cache() -> None:
+    """Drop all interned identities (test isolation / memory reclamation)."""
+    _ITEM_ID_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -38,10 +83,19 @@ class WriteItem:
     op: WriteOp = WriteOp.UPDATE
     values: Mapping[str, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_item_id", intern_item_id(self.table, self.key))
+
     @property
     def item_id(self) -> tuple[str, object]:
-        """The identity used for write-write conflict detection."""
-        return (self.table, self.key)
+        """The (interned) identity used for write-write conflict detection."""
+        return self._item_id  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        # The generated hash would include ``values`` — a Mapping, typically a
+        # plain dict — and raise TypeError.  Identity plus operation is what
+        # certification and replication distinguish items by.
+        return hash((self.table, self.key, self.op))
 
     def size_bytes(self) -> int:
         """Approximate wire size of this item (used by the network model)."""
@@ -60,11 +114,12 @@ class WriteSet:
     maintained alongside to make the certification intersection test O(min).
     """
 
-    __slots__ = ("_items", "_item_ids")
+    __slots__ = ("_items", "_item_ids", "_size_bytes")
 
     def __init__(self, items: Iterable[WriteItem] = ()) -> None:
         self._items: list[WriteItem] = []
         self._item_ids: set[tuple[str, object]] = set()
+        self._size_bytes: int | None = 0
         for item in items:
             self.add(item)
 
@@ -74,6 +129,7 @@ class WriteSet:
         """Append ``item`` to the writeset."""
         self._items.append(item)
         self._item_ids.add(item.item_id)
+        self._size_bytes = None
 
     def add_update(self, table: str, key: object, **values: object) -> None:
         """Convenience helper to append an UPDATE item."""
@@ -107,6 +163,18 @@ class WriteSet:
         """The identities of all modified rows."""
         return frozenset(self._item_ids)
 
+    def iter_item_ids(self) -> Iterator[tuple[str, object]]:
+        """Iterate distinct item identities without copying the set.
+
+        The certifier's indexed conflict check probes one dict entry per
+        identity; this accessor keeps that pass allocation-free.
+        """
+        return iter(self._item_ids)
+
+    def distinct_item_count(self) -> int:
+        """Number of distinct row identities (== probes per indexed check)."""
+        return len(self._item_ids)
+
     def is_empty(self) -> bool:
         """True when the transaction was read-only."""
         return not self._items
@@ -126,8 +194,16 @@ class WriteSet:
         return (table, key) in self._item_ids
 
     def size_bytes(self) -> int:
-        """Approximate wire size of the writeset."""
-        return sum(item.size_bytes() for item in self._items) or 0
+        """Approximate wire size of the writeset.
+
+        Cached — the network model sizes the same writeset for the request,
+        the response and every remote-writeset propagation, so re-summing the
+        items each time was a measurable hot-path cost.  The cache is
+        invalidated by :meth:`add`.
+        """
+        if self._size_bytes is None:
+            self._size_bytes = sum(item.size_bytes() for item in self._items)
+        return self._size_bytes
 
     def tables(self) -> frozenset[str]:
         """All tables touched by the writeset."""

@@ -69,6 +69,25 @@ class RecoveryError(ReproError):
     """A recovery procedure could not complete."""
 
 
+class LogPrunedError(ReproError):
+    """A certifier-log read referenced records below the GC horizon.
+
+    Raised when a caller asks for records (or a conflict window) that log
+    garbage collection has already discarded.  Under the low-water-mark
+    protocol this indicates either a protocol violation or a recovering node
+    whose dump predates the horizon and therefore needs a full state
+    transfer instead of log replay.
+    """
+
+    def __init__(self, requested_after: int, pruned_version: int) -> None:
+        super().__init__(
+            f"log records after version {requested_after} were requested, but "
+            f"the log is pruned up to version {pruned_version}"
+        )
+        self.requested_after = requested_after
+        self.pruned_version = pruned_version
+
+
 class ConsensusError(ReproError):
     """Base class for Paxos / replicated-log failures."""
 

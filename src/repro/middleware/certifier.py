@@ -44,6 +44,15 @@ class CertifierConfig:
     #: Fraction of successfully certified requests aborted anyway (§9.5).
     forced_abort_rate: float = 0.0
     rng_seed: int = 1
+    #: Run log garbage collection every this many certification requests.
+    #: 0 disables automatic GC (the log then grows without bound, as in the
+    #: seed implementation); :meth:`CertifierService.collect_garbage` can
+    #: still be called explicitly.
+    gc_interval_requests: int = 256
+    #: Records kept below the low-water mark so in-flight transactions whose
+    #: start version slightly trails their replica's reported version are
+    #: never conservatively aborted ("snapshot too old").
+    gc_headroom_versions: int = 256
 
 
 class CertifierService:
@@ -75,12 +84,42 @@ class CertifierService:
             self._batcher.enqueue(result.tx_commit_version)
             if self.config.durability_enabled:
                 self.flush()
+        interval = self.config.gc_interval_requests
+        if interval > 0 and self.core.certification_requests % interval == 0:
+            if not self.config.durability_enabled:
+                # tashAPInoCERT keeps the log write off the critical path but
+                # still writes it eventually (the sim's lazy log-writer loop);
+                # flush here so the durable horizon — and with it GC — keeps
+                # advancing instead of pinning prune_to at version 0.
+                self.flush()
+            self.collect_garbage()
         return result
 
     def fetch_remote_writesets(self, replica_version: int,
-                               check_back_to: int | None = None) -> list[RemoteWriteSetInfo]:
+                               check_back_to: int | None = None,
+                               *, replica: str | None = None) -> list[RemoteWriteSetInfo]:
         """Serve a bounded-staleness refresh request (no certification)."""
-        return self.core.fetch_remote_writesets(replica_version, check_back_to)
+        return self.core.fetch_remote_writesets(replica_version, check_back_to,
+                                                replica=replica)
+
+    # -- log garbage collection -----------------------------------------------
+
+    def register_replica(self, replica: str, version: int = 0) -> None:
+        """Introduce a replica to the low-water-mark protocol.
+
+        Until a replica is known (registered or seen on a certification
+        request) it does not constrain GC, so connected-but-idle replicas
+        must be registered to keep their log suffix alive.
+        """
+        self.core.note_replica_version(replica, version)
+
+    def disconnect_replica(self, replica: str) -> None:
+        """Remove a replica from the low-water-mark protocol."""
+        self.core.forget_replica(replica)
+
+    def collect_garbage(self) -> int:
+        """Prune the durable log prefix below the replicas' low-water mark."""
+        return self.core.collect_garbage(headroom=self.config.gc_headroom_versions)
 
     # -- durability ---------------------------------------------------------------
 

@@ -110,6 +110,9 @@ class TransparentProxy:
         self.proxy_log: list[tuple[int, WriteSet]] = []
         self.conflict_detector = ArtificialConflictDetector()
         self.stats = ProxyStats()
+        # Join the certifier's log-GC low-water-mark protocol immediately so
+        # an idle replica is never pruned past before its first commit.
+        self.certifier.register_replica(replica_name, database.current_version)
         # Tashkent-MW replicas run without synchronous commit at the database.
         if system is SystemKind.TASHKENT_MW:
             self.database.set_synchronous_commit(False)
@@ -402,6 +405,7 @@ class TransparentProxy:
         remote = self.certifier.fetch_remote_writesets(
             self.replica_version.version,
             self.replica_version.version if self.system.supports_ordered_commit else None,
+            replica=self.replica_name,
         )
         self.stats.staleness_refreshes += 1
         if not remote:

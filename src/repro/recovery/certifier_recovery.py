@@ -22,6 +22,11 @@ class CertifierRecoveryReport:
     entries_transferred: int
     new_leader_id: int
     group_has_quorum: bool
+    #: GC horizon of the leader's certifier log at recovery time.  A state
+    #: transfer only carries the retained suffix (``CertifierLog.from_records``
+    #: rebuilds the base offset from it); replicas whose dump predates this
+    #: version cannot catch up by log replay and need a full state transfer.
+    log_pruned_version: int = 0
 
 
 def recover_certifier_node(group: ReplicatedCertifierGroup, node_id: int) -> CertifierRecoveryReport:
@@ -35,4 +40,5 @@ def recover_certifier_node(group: ReplicatedCertifierGroup, node_id: int) -> Cer
         entries_transferred=transferred,
         new_leader_id=leader,
         group_has_quorum=group.has_quorum(),
+        log_pruned_version=group.certifier.log.pruned_version,
     )

@@ -25,6 +25,7 @@ from repro.engine.database import Database
 from repro.engine.recovery import recover_from_checkpoint, recover_from_wal
 from repro.engine.table import TableSchema
 from repro.engine.wal import WriteAheadLog
+from repro.errors import RecoveryError
 
 
 @dataclass
@@ -47,9 +48,21 @@ def replay_writesets_from_certifier(database: Database, certifier_log: Certifier
 
     Returns the number of writesets replayed.  Replay is idempotent: records
     at or below the database's current version are skipped, so it is safe to
-    call with a conservative ``after_version``.
+    call with a conservative ``after_version``.  The starting point is
+    clamped to the database's current version, which keeps replay working
+    against a garbage-collected log; if the log has been pruned *beyond* the
+    database's version the missing records are unrecoverable from the log
+    and a :class:`RecoveryError` is raised (the replica needs a newer dump
+    or a full state transfer).
     """
+    if certifier_log.pruned_version > database.current_version:
+        raise RecoveryError(
+            f"certifier log is pruned up to version {certifier_log.pruned_version}, "
+            f"but the database only reached version {database.current_version}; "
+            "log replay cannot recover this replica"
+        )
     start = database.current_version if after_version is None else after_version
+    start = max(start, database.current_version)
     replayed = 0
     for record in certifier_log.records_after(start):
         if record.commit_version <= database.current_version:

@@ -144,3 +144,220 @@ def test_stats_snapshot_counts_requests_and_rate():
     assert stats["commits"] == 1
     assert stats["aborts"] == 1
     assert stats["abort_rate"] == pytest.approx(0.5)
+
+
+# -- log garbage collection (low-water-mark protocol) -------------------------
+
+
+def _fill(certifier, n, replica="replica-A"):
+    for key in range(n):
+        start = certifier.system_version.version
+        result = certifier.certify(
+            request(make_writeset([("t", f"gc-{key}")]), start=start,
+                    replica_version=start, replica=replica)
+        )
+        assert result.committed
+
+
+def test_low_water_mark_tracks_minimum_replica_version():
+    certifier = Certifier()
+    assert certifier.low_water_mark() is None
+    certifier.note_replica_version("A", 5)
+    certifier.note_replica_version("B", 3)
+    assert certifier.low_water_mark() == 3
+    certifier.note_replica_version("B", 1)  # stale report never regresses
+    assert certifier.low_water_mark() == 3
+    certifier.forget_replica("B")
+    assert certifier.low_water_mark() == 5
+
+
+def test_certify_feeds_replica_watermarks():
+    certifier = Certifier()
+    _fill(certifier, 3, replica="A")
+    # The last request reported replica_version 2 (version before commit 3).
+    assert certifier.low_water_mark() == 2
+
+
+def test_collect_garbage_prunes_durable_prefix_below_low_water():
+    certifier = Certifier()
+    _fill(certifier, 10)
+    certifier.log.mark_durable(10)
+    certifier.note_replica_version("replica-A", 10)
+    pruned = certifier.collect_garbage(headroom=4)
+    assert pruned == 6
+    assert certifier.log.pruned_version == 6
+    assert certifier.log.last_version == 10
+    assert certifier.stats()["gc_runs"] == 1
+    # Certification continues seamlessly above the horizon.
+    # gc-9 was written by commit version 10, above the snapshot at 8.
+    result = certifier.certify(
+        request(make_writeset([("t", "gc-9")]), start=8, replica_version=10)
+    )
+    assert not result.committed
+    assert result.conflicting_version == 10
+
+
+def test_collect_garbage_waits_for_durability_and_reports():
+    certifier = Certifier()
+    _fill(certifier, 8)
+    certifier.note_replica_version("replica-A", 8)
+    assert certifier.collect_garbage() == 0  # nothing durable yet
+    certifier.log.mark_durable(5)
+    assert certifier.collect_garbage() == 5  # clamped to the durable horizon
+
+
+def test_snapshot_below_gc_horizon_aborts_conservatively():
+    certifier = Certifier()
+    _fill(certifier, 10)
+    certifier.log.mark_durable(10)
+    certifier.note_replica_version("replica-A", 10)
+    certifier.collect_garbage()
+    assert certifier.log.pruned_version == 10
+    # A fresh, conflict-free writeset whose snapshot predates the horizon is
+    # aborted ("snapshot too old") rather than risking a missed conflict.
+    result = certifier.certify(
+        request(make_writeset([("t", "fresh")]), start=3, replica_version=10)
+    )
+    assert not result.committed
+    assert certifier.snapshot_too_old_aborts == 1
+    # The same writeset at a current snapshot commits.
+    result = certifier.certify(
+        request(make_writeset([("t", "fresh")]), start=10, replica_version=10)
+    )
+    assert result.committed
+
+
+def test_delayed_request_below_gc_horizon_is_served_not_crashed():
+    """Regression: a request whose replica_version predates the GC horizon.
+
+    The replica's newer reports advanced the watermark past its delayed
+    request, so GC pruned below the request's view.  The certifier must
+    serve the retained suffix (the replica provably applied the pruned
+    prefix) instead of raising LogPrunedError.
+    """
+    certifier = Certifier()
+    _fill(certifier, 10)
+    certifier.log.mark_durable(10)
+    certifier.note_replica_version("replica-A", 10)
+    certifier.collect_garbage()
+    assert certifier.log.pruned_version == 10
+    # Delayed request: snapshot and replica view from before the horizon,
+    # but replica-A's watermark (10) proves it already has the prefix.
+    result = certifier.certify(
+        request(make_writeset([("t", "late")]), start=2, replica_version=2,
+                replica="replica-A")
+    )
+    assert not result.committed  # conservative snapshot-too-old abort
+    assert result.remote_writesets == []  # nothing retained after version 10
+    # A delayed refresh from the same replica is equally safe.
+    assert certifier.fetch_remote_writesets(3, replica="replica-A") == []
+    _fill(certifier, 2)
+    remote = certifier.fetch_remote_writesets(3, replica="replica-A")
+    assert [info.commit_version for info in remote] == [11, 12]
+
+
+def test_unknown_replica_below_gc_horizon_fails_loudly():
+    """A requester that never caught up must not silently skip pruned records.
+
+    Serving a below-horizon view to a replica whose own watermark never
+    reached the horizon would create a permanent gap in its writeset stream
+    (silent divergence); the certifier refuses with LogPrunedError so the
+    replica bootstraps from a dump / state transfer instead.
+    """
+    from repro.errors import LogPrunedError
+
+    certifier = Certifier()
+    _fill(certifier, 10)
+    certifier.log.mark_durable(10)
+    certifier.note_replica_version("replica-A", 10)
+    certifier.collect_garbage()
+    assert certifier.log.pruned_version == 10
+    # A brand-new replica attaching at version 0:
+    with pytest.raises(LogPrunedError):
+        certifier.fetch_remote_writesets(0, replica="replica-new")
+    with pytest.raises(LogPrunedError):
+        certifier.certify(
+            request(make_writeset([("t", "x")]), start=0, replica_version=0,
+                    replica="replica-new")
+        )
+    # Anonymous refreshes below the horizon are refused too.
+    with pytest.raises(LogPrunedError):
+        certifier.fetch_remote_writesets(0)
+    # At or above the horizon anyone is served.
+    assert certifier.fetch_remote_writesets(10) == []
+
+
+def test_refused_replica_does_not_pin_the_low_water_mark():
+    """Regression: a refused below-horizon request must leave no watermark.
+
+    If the refusal registered the stale version first, the phantom entry
+    would cap low_water_mark at 0 and silently disable GC forever.
+    """
+    from repro.errors import LogPrunedError
+
+    certifier = Certifier()
+    _fill(certifier, 10)
+    certifier.log.mark_durable(10)
+    certifier.note_replica_version("replica-A", 10)
+    certifier.collect_garbage()
+    with pytest.raises(LogPrunedError):
+        certifier.fetch_remote_writesets(0, replica="replica-new")
+    with pytest.raises(LogPrunedError):
+        certifier.certify(
+            request(make_writeset([("t", "x")]), start=0, replica_version=0,
+                    replica="replica-new")
+        )
+    assert "replica-new" not in certifier._replica_versions
+    assert certifier.low_water_mark() == 10  # GC still unblocked
+    _fill(certifier, 3)
+    certifier.log.mark_durable(certifier.log.last_version)
+    assert certifier.collect_garbage() > 0
+
+
+def test_refusal_happens_before_any_log_mutation():
+    """Regression: a conflict-free request refused for its remote window
+    must not leave a committed record behind (retry would double-commit)."""
+    from repro.errors import LogPrunedError
+
+    certifier = Certifier()
+    _fill(certifier, 10)
+    certifier.log.mark_durable(10)
+    certifier.note_replica_version("replica-A", 10)
+    certifier.collect_garbage()
+    before = (certifier.log.last_version, certifier.commits,
+              certifier.certification_requests, certifier.aborts)
+    # Conflict-free writeset, current snapshot — but an unserveable
+    # remote-writeset window (anonymous requester at version 0).
+    with pytest.raises(LogPrunedError):
+        certifier.certify(CertificationRequest(
+            tx_start_version=10,
+            writeset=make_writeset([("t", "fresh")]),
+            replica_version=0,
+        ))
+    after = (certifier.log.last_version, certifier.commits,
+             certifier.certification_requests, certifier.aborts)
+    assert after == before  # nothing appended, nothing counted
+    # The identical transaction retried with a sane window commits once.
+    result = certifier.certify(CertificationRequest(
+        tx_start_version=10,
+        writeset=make_writeset([("t", "fresh")]),
+        replica_version=10,
+    ))
+    assert result.committed and result.tx_commit_version == 11
+
+
+def test_anonymous_requests_never_join_the_gc_protocol():
+    """Regression: the old origin_replica default registered a phantom
+    'replica-0' whose frozen watermark capped GC forever."""
+    certifier = Certifier()
+    for i in range(5):
+        start = certifier.system_version.version
+        result = certifier.certify(CertificationRequest(
+            tx_start_version=start,
+            writeset=make_writeset([("t", i)]),
+            replica_version=start,
+        ))
+        assert result.committed
+    assert certifier.low_water_mark() is None  # nobody enrolled
+    certifier.note_replica_version("real", 5)
+    assert certifier.low_water_mark() == 5  # phantom would have capped at 0

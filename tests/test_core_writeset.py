@@ -87,3 +87,60 @@ def test_merge_preserves_order_and_identity():
     a.merge(b)
     assert [item.key for item in a] == [1, 2, 1]
     assert a.item_ids == frozenset({("t", 1), ("t", 2)})
+
+
+def test_write_item_is_hashable_despite_dict_values():
+    # Regression: the generated dataclass hash included the ``values`` dict
+    # and raised TypeError on any item with column values.
+    item = WriteItem(table="accounts", key=1, op=WriteOp.UPDATE, values={"balance": 7})
+    other = WriteItem(table="accounts", key=1, op=WriteOp.UPDATE, values={"balance": 9})
+    assert hash(item) == hash(other)  # hash ignores values
+    assert item != other  # equality still sees them
+    assert len({item, WriteItem(table="accounts", key=2)}) == 2
+
+
+def test_item_ids_are_interned_across_writesets():
+    a = WriteItem(table="accounts", key=42)
+    b = WriteItem(table="accounts", key=42, op=WriteOp.DELETE)
+    assert a.item_id is b.item_id  # shared tuple, not just equal
+
+
+def test_intern_cache_resets_at_cap_and_keeps_interning():
+    from repro.core import writeset as ws_mod
+
+    original_max = ws_mod._ITEM_ID_CACHE_MAX
+    ws_mod.clear_intern_cache()
+    ws_mod._ITEM_ID_CACHE_MAX = 8
+    try:
+        for k in range(20):  # flood well past the cap
+            ws_mod.intern_item_id("flood", k)
+        assert ws_mod.intern_cache_size() <= 8  # bounded, not frozen
+        # Hot identities created after the flood still intern (epoch reset).
+        a = ws_mod.intern_item_id("hot", "row")
+        b = ws_mod.intern_item_id("hot", "row")
+        assert a is b
+    finally:
+        ws_mod._ITEM_ID_CACHE_MAX = original_max
+        ws_mod.clear_intern_cache()
+
+
+def test_unhashable_key_still_builds_an_item_id():
+    item = WriteItem(table="t", key=["not", "hashable"])
+    assert item.item_id == ("t", ["not", "hashable"])
+
+
+def test_size_bytes_cache_invalidated_on_add():
+    writeset = WriteSet()
+    assert writeset.size_bytes() == 0
+    writeset.add_update("t", 1, v="x" * 100)
+    first = writeset.size_bytes()
+    assert first > 100
+    assert writeset.size_bytes() == first  # cached, same answer
+    writeset.add_update("t", 2, v="y" * 100)
+    assert writeset.size_bytes() > first  # cache invalidated by add
+
+
+def test_iter_item_ids_matches_item_ids():
+    writeset = make_writeset([("t", 1), ("t", 2), ("t", 1)])
+    assert set(writeset.iter_item_ids()) == set(writeset.item_ids)
+    assert writeset.distinct_item_count() == 2

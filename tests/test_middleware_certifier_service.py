@@ -7,11 +7,12 @@ from repro.core.writeset import WriteSet, make_writeset
 from repro.middleware.certifier import CertifierConfig, CertifierService
 
 
-def request(keys, start=0, replica_version=0):
+def request(keys, start=0, replica_version=0, replica="replica-0"):
     return CertificationRequest(
         tx_start_version=start,
         writeset=make_writeset([("t", k) for k in keys]),
         replica_version=replica_version,
+        origin_replica=replica,
     )
 
 
@@ -91,3 +92,50 @@ def test_stats_expose_paper_metrics():
     assert stats["fsyncs"] == 1.0
     assert stats["commits"] == 1
     assert stats["writesets_per_fsync"] == pytest.approx(1.0)
+
+
+def test_automatic_gc_bounds_the_log():
+    service = CertifierService(CertifierConfig(
+        gc_interval_requests=10, gc_headroom_versions=5))
+    for i in range(100):
+        version = service.system_version
+        service.certify(request([f"k{i}"], start=version, replica_version=version))
+    # The replica reported up to version 99; GC keeps the headroom suffix.
+    assert service.log.last_version == 100
+    assert service.log.pruned_version > 0
+    assert service.log.retained_count <= 100 - service.log.pruned_version
+    assert service.log.pruned_version >= 100 - 5 - 10 - 1
+    # Decisions above the horizon are unaffected.
+    version = service.system_version
+    result = service.certify(request(["k99"], start=version - 1, replica_version=version))
+    assert not result.committed  # k99 committed at version 100
+    assert result.conflicting_version == 100
+
+
+def test_gc_still_runs_with_durability_disabled():
+    """Regression: tashAPInoCERT (no critical-path flush) must still GC.
+
+    Without the lazy flush on the GC tick, durable_version would stay 0 and
+    prune_to would clamp every collection to a no-op forever.
+    """
+    service = CertifierService(CertifierConfig(
+        durability_enabled=False, gc_interval_requests=10, gc_headroom_versions=0))
+    for i in range(40):
+        version = service.system_version
+        service.certify(request([f"k{i}"], start=version, replica_version=version))
+    assert service.log.durable_version > 0  # lazily flushed off the critical path
+    assert service.log.pruned_version > 0  # ...which unblocks GC
+    assert service.log.retained_count < 40
+
+
+def test_idle_registered_replica_blocks_gc():
+    service = CertifierService(CertifierConfig(
+        gc_interval_requests=5, gc_headroom_versions=0))
+    service.register_replica("idle-replica")  # never advances past 0
+    for i in range(50):
+        version = service.system_version
+        service.certify(request([f"k{i}"], start=version, replica_version=version))
+    assert service.log.pruned_version == 0  # the idle replica pins the log
+    service.disconnect_replica("idle-replica")
+    service.collect_garbage()
+    assert service.log.pruned_version > 0

@@ -1,0 +1,176 @@
+"""Property tests: indexed certification ≡ the reference linear scan.
+
+The tentpole invariant of the indexed certifier log: for any sequence of
+certifications, durability advances, crash truncations and garbage
+collections, the indexed conflict check reaches exactly the same decisions
+as the seed's linear scan over the full history (for every window that GC
+has not discarded — below the horizon the contract is a conservative
+abort, which is also asserted).
+
+The indexed log additionally runs in ``verify`` mode, so every check is
+*also* cross-validated internally against a scan of the retained records.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.certification import CertificationRequest, Certifier
+from repro.core.certifier_log import MODE_VERIFY, CertifierLog
+from repro.core.writeset import make_writeset
+
+# A small keyspace keeps both conflicts and re-writes of the same item
+# frequent, which is what stresses the per-item version lists.
+keys = st.integers(min_value=0, max_value=9)
+key_lists = st.lists(keys, min_size=1, max_size=4)
+
+
+class ReferenceScanCertifier:
+    """The seed algorithm: scan every logged record after the snapshot.
+
+    Keeps the *full* history (never pruned), so it can answer windows the
+    indexed log has garbage-collected — which is exactly what lets the test
+    distinguish "correctly conservative" from "wrong".
+    """
+
+    def __init__(self):
+        self.history = []  # list of (commit_version, frozenset of item ids)
+
+    @property
+    def version(self):
+        return self.history[-1][0] if self.history else 0
+
+    def first_conflict(self, item_ids, after_version):
+        for version, ids in self.history:
+            if version > after_version and ids & item_ids:
+                return version
+        return None
+
+    def certify(self, item_ids, start_version):
+        conflict = self.first_conflict(item_ids, start_version)
+        if conflict is not None:
+            return conflict
+        self.history.append((self.version + 1, frozenset(item_ids)))
+        return None
+
+    def truncate_to(self, durable_version):
+        self.history = [(v, ids) for v, ids in self.history if v <= durable_version]
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("certify"), key_lists, st.floats(0.0, 1.0)),
+        st.tuples(st.just("durable"), st.floats(0.0, 1.0)),
+        st.tuples(st.just("crash"), st.floats(0.0, 1.0)),
+        st.tuples(st.just("gc"), st.floats(0.0, 1.0)),
+        st.tuples(st.just("probe"), key_lists, st.floats(0.0, 1.0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _pick(low, high, fraction):
+    """Deterministically map a unit float onto the inclusive range."""
+    if high <= low:
+        return low
+    return low + round((high - low) * fraction)
+
+
+@given(ops)
+@settings(max_examples=120, deadline=None)
+def test_indexed_decisions_match_reference_scan(operations):
+    log = CertifierLog(mode=MODE_VERIFY)
+    certifier = Certifier(log)
+    reference = ReferenceScanCertifier()
+
+    for op in operations:
+        kind = op[0]
+        if kind == "certify":
+            _, key_list, fraction = op
+            writeset = make_writeset([("t", k) for k in key_list])
+            # Snapshots are drawn at or above the GC horizon: the low-water
+            # protocol guarantees live transactions never start below it.
+            start = _pick(log.pruned_version, certifier.system_version.version, fraction)
+            result = certifier.certify(CertificationRequest(
+                tx_start_version=start,
+                writeset=writeset,
+                replica_version=certifier.system_version.version,
+            ))
+            expected_conflict = reference.certify(
+                frozenset(writeset.item_ids), start)
+            assert result.committed == (expected_conflict is None)
+            if expected_conflict is not None:
+                assert result.conflicting_version == expected_conflict
+            else:
+                assert result.tx_commit_version == reference.version
+        elif kind == "durable":
+            _, fraction = op
+            target = _pick(log.durable_version, log.last_version, fraction)
+            log.mark_durable(target)
+        elif kind == "crash":
+            _, fraction = op
+            target = _pick(log.durable_version, log.last_version, fraction)
+            log.mark_durable(target)
+            log.truncate_to_durable()
+            reference.truncate_to(target)
+            # A crash restarts the certifier over the surviving log.
+            certifier = Certifier(log)
+            assert certifier.system_version.version == reference.version
+        elif kind == "gc":
+            _, fraction = op
+            target = _pick(log.pruned_version, log.durable_version, fraction)
+            log.prune_to(target)
+            # Reference keeps full history: GC must not change decisions.
+        elif kind == "probe":
+            _, key_list, fraction = op
+            probe = make_writeset([("t", k) for k in key_list])
+            after = _pick(log.pruned_version, log.last_version, fraction)
+            assert (log.first_conflicting_version(probe, after)
+                    == reference.first_conflict(frozenset(probe.item_ids), after))
+            assert log.conflicts(probe, after) == (
+                reference.first_conflict(frozenset(probe.item_ids), after) is not None
+            )
+
+    # Final sweep: every above-horizon window agrees with the reference;
+    # every below-horizon window is conservatively a conflict.
+    probe = make_writeset([("t", k) for k in range(10)])
+    for after in range(0, log.last_version + 1):
+        indexed = log.first_conflicting_version(probe, after)
+        if after >= log.pruned_version:
+            assert indexed == reference.first_conflict(frozenset(probe.item_ids), after)
+        else:
+            assert indexed == log.pruned_version
+            assert log.conflicts(probe, after)
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_gc_and_crash_keep_index_rebuildable(operations):
+    """After any op sequence, the live index equals a from-scratch rebuild."""
+    log = CertifierLog(mode=MODE_VERIFY)
+    certifier = Certifier(log)
+    for op in operations:
+        kind = op[0]
+        if kind == "certify" or kind == "probe":
+            key_list, fraction = op[1], op[2]
+            writeset = make_writeset([("t", k) for k in key_list])
+            start = _pick(log.pruned_version, certifier.system_version.version, fraction)
+            certifier.certify(CertificationRequest(
+                tx_start_version=start,
+                writeset=writeset,
+                replica_version=certifier.system_version.version,
+            ))
+        elif kind == "durable":
+            log.mark_durable(_pick(log.durable_version, log.last_version, op[1]))
+        elif kind == "crash":
+            log.mark_durable(_pick(log.durable_version, log.last_version, op[1]))
+            log.truncate_to_durable()
+            certifier = Certifier(log)
+        elif kind == "gc":
+            log.prune_to(_pick(log.pruned_version, log.durable_version, op[1]))
+
+    rebuilt = CertifierLog.from_records(log.iter_records(), durable=False)
+    assert rebuilt.index_item_count == log.index_item_count
+    probe_all = make_writeset([("t", k) for k in range(10)])
+    for after in range(log.pruned_version, log.last_version + 1):
+        assert (log.first_conflicting_version(probe_all, after)
+                == rebuilt.first_conflicting_version(probe_all, after))

@@ -104,6 +104,32 @@ def test_recovered_replicas_converge_to_the_same_state():
     assert verify_same_state(healthy, report.database)
 
 
+def test_replay_works_against_a_pruned_log_when_dump_is_recent_enough():
+    certifier = build_certified_history(6)
+    db = fresh_db()
+    replay_writesets_from_certifier(db, certifier.log)  # db now at version 6
+    for i in range(6, 9):
+        certifier.certify(
+            CertificationRequest(tx_start_version=i,
+                                 writeset=make_writeset([("accounts", i)]),
+                                 replica_version=i)
+        )
+    certifier.log.prune_to(5)  # GC below the replica's version
+    assert certifier.log.pruned_version == 5
+    assert replay_writesets_from_certifier(db, certifier.log) == 3
+    assert db.current_version == certifier.system_version
+
+
+def test_replay_refuses_a_log_pruned_beyond_the_database():
+    from repro.errors import RecoveryError
+
+    certifier = build_certified_history(6)
+    db = fresh_db()  # never applied anything: version 0
+    certifier.log.prune_to(4)
+    with pytest.raises(RecoveryError):
+        replay_writesets_from_certifier(db, certifier.log)
+
+
 def test_certifier_node_recovery_report():
     group = ReplicatedCertifierGroup(3)
     for i in range(3):
