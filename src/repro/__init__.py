@@ -17,6 +17,12 @@ The package is organised in layers:
     group commit, a synchronous-commit switch, writeset-extraction triggers,
     an ordered ``COMMIT <version>`` API, checkpoints and crash recovery.
 
+``repro.transport``
+    The propagation subsystem shared by the functional and simulated stacks:
+    a topic message bus, pluggable batching/flush policies (immediate,
+    size-capped, time-windowed) and the ``WritesetStream`` that pushes
+    batches of certified writesets from the certifier to every replica.
+
 ``repro.middleware``
     The replication middleware: the transparent proxy and the certifier, and
     factories assembling the three replicated systems evaluated in the paper
@@ -65,6 +71,16 @@ from repro.middleware.systems import (
 )
 from repro.cluster.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.cluster.sweeps import ReplicaSweep, run_replica_sweep
+from repro.transport import (
+    ExplicitFlushPolicy,
+    FlushPolicy,
+    ImmediateFlushPolicy,
+    MessageBus,
+    SizeCappedFlushPolicy,
+    TimeWindowFlushPolicy,
+    WritesetStream,
+    policy_from_name,
+)
 from repro.workloads import allupdates, tpcb, tpcw
 
 __all__ = [
@@ -74,20 +90,28 @@ __all__ = [
     "DiskConfig",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExplicitFlushPolicy",
+    "FlushPolicy",
+    "ImmediateFlushPolicy",
     "IsolationError",
+    "MessageBus",
     "NetworkConfig",
     "ReplicaSweep",
     "ReplicatedSystem",
     "ReplicationConfig",
+    "SizeCappedFlushPolicy",
     "SystemKind",
+    "TimeWindowFlushPolicy",
     "VersionClock",
     "WorkloadName",
     "WriteItem",
     "WriteSet",
+    "WritesetStream",
     "allupdates",
     "build_base_system",
     "build_tashkent_api_system",
     "build_tashkent_mw_system",
+    "policy_from_name",
     "run_experiment",
     "run_replica_sweep",
     "tpcb",

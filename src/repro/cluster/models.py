@@ -57,15 +57,17 @@ class SystemModel(abc.ABC):
             for index in range(config.num_replicas)
         ]
         if self.certifier_node is not None:
-            # Every replica joins the log-GC low-water-mark protocol up front
-            # so the certifier never prunes records an idle replica still
-            # needs (see repro.core.certification), and periodically reports
-            # its applied version so a read-heavy replica that rarely
-            # certifies cannot pin the low-water mark at 0 forever.
+            # Every replica joins the log-GC low-water-mark protocol (and the
+            # writeset stream) up front so the certifier never prunes records
+            # an idle replica still needs (see repro.core.certification), and
+            # runs a bounded-staleness process that drains its subscription
+            # over the transport — which doubles as the watermark heartbeat,
+            # so a read-heavy replica that rarely certifies cannot pin the
+            # low-water mark at 0 forever.
             for replica in self.replicas:
                 self.certifier_node.register_replica(replica.name)
-                env.process(self._gc_heartbeat(replica),
-                            name=f"{replica.name}-gc-heartbeat")
+                env.process(self._staleness_refresh(replica),
+                            name=f"{replica.name}-staleness-refresh")
 
     # -- construction ------------------------------------------------------------
 
@@ -125,22 +127,49 @@ class SystemModel(abc.ABC):
         result = yield from self.certifier_node.certify(request)
         return result
 
-    def _gc_heartbeat(self, replica: SimReplicaNode) -> Generator:
-        """Report ``replica``'s applied version to the certifier periodically.
+    def _staleness_refresh(self, replica: SimReplicaNode) -> Generator:
+        """Bounded staleness over the transport (Section 6.2).
 
-        Piggybacks on the bounded-staleness period (Section 6.2): a tiny
-        heartbeat message that feeds the log-GC low-water mark, nothing more.
-        Certification requests carry the same information for replicas that
-        commit updates; this covers the ones that mostly read.
+        Every ``staleness_bound_ms`` the replica drains its writeset
+        subscription: pending batches are delivered with network-modeled
+        delay, anything not already applied in-band with a certification
+        response is applied (CPU cost plus the system-specific commit, see
+        :meth:`_commit_refreshed`), and the replica's applied version is
+        reported to the certifier's log-GC low-water-mark protocol.
         """
         assert self.certifier_node is not None
         period = self.config.staleness_bound_ms
         while True:
             yield self.env.timeout(period)
-            yield self.certifier_node.network.transfer(16)
+            base_version = replica.replica_version
+            remote = yield from self.certifier_node.propagate(
+                replica.name, applied_version=base_version,
+                extend_horizons=self.config.system.supports_ordered_commit,
+                watermark=lambda: replica.replica_version,
+            )
+            pending = replica.claim_remote(remote)
+            if pending:
+                yield from self._apply_remote_cpu(replica, len(pending))
+                yield from self._commit_refreshed(replica, pending, base_version)
             self.certifier_node.certifier.note_replica_version(
                 replica.name, replica.replica_version
             )
+
+    def _commit_refreshed(self, replica: SimReplicaNode, pending: list,
+                          base_version: int) -> Generator:
+        """Commit a batch of refreshed remote writesets at the replica.
+
+        ``base_version`` is the replica's watermark before the batch was
+        claimed (what the proxy would plan submission against).  Default
+        (durability in the database, serial commits — Base): the grouped
+        remote transaction costs one synchronous write under the commit
+        lock.  Subclasses override to match their commit machinery.
+        """
+        yield replica.commit_lock.request()
+        try:
+            yield from replica.disk.fsync()
+        finally:
+            replica.commit_lock.release()
 
     def _apply_remote_cpu(self, replica: SimReplicaNode, count: int) -> Generator:
         """Charge the CPU cost of applying ``count`` remote writesets."""

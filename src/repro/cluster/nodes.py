@@ -9,16 +9,32 @@ sibling modules; nodes only provide reusable process fragments such as
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Callable, Generator
 
-from repro.core.certification import CertificationRequest, CertificationResult, Certifier
+from repro.core.certification import (
+    CertificationRequest,
+    CertificationResult,
+    Certifier,
+    RemoteWriteSetInfo,
+)
 from repro.core.config import ReplicationConfig
 from repro.core.group_commit import GroupCommitStats
 from repro.sim.devices import CpuServer, DiskChannel, NetworkLink
 from repro.sim.kernel import Environment, Event
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RandomStreams
+from repro.transport import (
+    ExplicitFlushPolicy,
+    FlushPolicy,
+    Message,
+    MessageBus,
+    WritesetStream,
+    WritesetSubscription,
+)
 from repro.workloads.spec import WorkloadSpec
+
+#: Bus topic on which the certifier's log writer announces durable versions.
+DURABILITY_TOPIC = "durability"
 
 
 class SimCertifierNode:
@@ -48,6 +64,7 @@ class SimCertifierNode:
         *,
         durability_enabled: bool,
         name: str = "certifier",
+        propagation_policy: FlushPolicy | None = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -65,11 +82,37 @@ class SimCertifierNode:
         self._flush_queue: Store = Store(env, name=f"{name}-flush-queue")
         self.batch_stats = GroupCommitStats()
         self._flushes_since_gc = 0
+        # The transport fabric of this node: the log writer announces
+        # durability on the bus and offers freshly durable writesets to the
+        # stream; replica subscriptions are drained by the bounded-staleness
+        # processes with network-modeled delivery.
+        self.bus = MessageBus(name=f"{name}-bus")
+        #: With no explicit policy, propagation batches align with fsync
+        #: batches (the log writer flushes the stream after every sync).
+        self._fsync_aligned_propagation = propagation_policy is None
+        self.stream = WritesetStream(
+            policy=propagation_policy if propagation_policy is not None
+            else ExplicitFlushPolicy(),
+            bus=self.bus,
+        )
+        self._subscriptions: dict[str, WritesetSubscription] = {}
+        #: Certification fragments blocked on the flush of their version.
+        self._durability_waiters: dict[int, Event] = {}
+        self.bus.subscribe(DURABILITY_TOPIC, f"{name}-release",
+                           callback=self._on_durability_announcement)
         env.process(self._log_writer(), name=f"{name}-log-writer")
 
     def register_replica(self, replica_name: str, version: int = 0) -> None:
-        """Enrol a replica in the log-GC low-water-mark protocol."""
-        self.certifier.note_replica_version(replica_name, version)
+        """Enrol a replica: GC low-water-mark protocol plus stream subscription."""
+        if replica_name in self._subscriptions:
+            self.certifier.note_replica_version(replica_name, version)
+            return
+        self._subscriptions[replica_name] = self.stream.attach_replica(
+            self.certifier, replica_name, version
+        )
+
+    def subscription(self, replica_name: str) -> WritesetSubscription:
+        return self._subscriptions[replica_name]
 
     # -- protocol fragments ------------------------------------------------------
 
@@ -85,33 +128,73 @@ class SimCertifierNode:
         if result.committed and result.tx_commit_version is not None:
             if self.durability_enabled:
                 durable: Event = self.env.event()
-                self._flush_queue.put((result.tx_commit_version, durable))
+                self._durability_waiters[result.tx_commit_version] = durable
+                self._flush_queue.put(result.tx_commit_version)
                 yield durable
             else:
                 # tashAPInoCERT: the decision is released without waiting for
                 # the log write (the log still exists, it is just off the
-                # critical path and flushed lazily by the writer below).
-                self._flush_queue.put((result.tx_commit_version, None))
+                # critical path and flushed lazily by the writer below), so
+                # the writeset also propagates now, not at lazy-flush time —
+                # matching the functional service's non-durable branch.
+                self._flush_queue.put(result.tx_commit_version)
+                self.stream.propagate_from_log(
+                    self.certifier.log, (result.tx_commit_version,),
+                    now=self.env.now, aligned=self._fsync_aligned_propagation,
+                )
         yield self.network.transfer(result.response_size_bytes())
         return result
 
-    def fetch_remote(self, replica_version: int, check_back_to: int | None = None,
-                     *, replica: str | None = None) -> Generator:
-        """Process fragment: a bounded-staleness pull of remote writesets.
+    def propagate(self, replica_name: str, *,
+                  applied_version: int | None = None,
+                  extend_horizons: bool = False,
+                  watermark: Callable[[], int] | None = None) -> Generator:
+        """Process fragment: deliver pending writeset batches to a replica.
 
-        ``replica`` identifies the caller for the log-GC protocol — required
-        when pulling with a view below the GC horizon, and it advances the
-        caller's watermark as a side effect.  Note the periodic watermark
-        reporting for read-heavy replicas is done by the system model's GC
-        heartbeat, not by this fragment (which currently has no callers in
-        the shipped models).
+        The transport-layer replacement of the old ad-hoc ``fetch_remote``
+        pull: the replica's stream subscription is drained and every pending
+        batch crosses the LAN as one message, so batch boundaries chosen by
+        the flush policy translate directly into network transfers.  Returns
+        the delivered writesets, flattened in version order.
+
+        ``applied_version`` is the replica's current watermark: writesets it
+        already received in-band with certification responses are skipped
+        *before* the transfer, so they never cross the modeled LAN twice.
+        ``extend_horizons`` additionally extends the delivered writesets'
+        conflict-free horizons back to that watermark — only ordered-commit
+        (Tashkent-API) replicas plan against horizons, so only they should
+        pay for (and be counted for) the extra intersection tests.
+        ``watermark`` re-reads the replica's *live* version right before the
+        drain: commits that completed in-band while this fragment was waiting
+        on the network/CPU would otherwise be delivered again.
         """
-        yield self.network.transfer(32)
+        subscription = self._subscriptions[replica_name]
+        # Bounded staleness is the escape hatch for every batching policy: a
+        # refresh delivers whatever is pending, even a sub-cap/sub-window
+        # tail that the policy would keep holding.
+        self.stream.flush(now=self.env.now)
+        if applied_version is not None:
+            subscription.advance_to(applied_version)
+        # The poll request itself (a tiny heartbeat-sized message), plus the
+        # certifier CPU to serve it — the same cost the pull protocol paid.
+        yield self.network.transfer(16)
         yield from self.cpu.execute(self.certify_cpu_ms)
-        remote = self.certifier.fetch_remote_writesets(replica_version, check_back_to,
-                                                       replica=replica)
-        size = 32 + sum(info.size_bytes() for info in remote)
-        yield self.network.transfer(size)
+        if watermark is not None:
+            subscription.advance_to(watermark())
+        batches = subscription.poll()
+        remote: list[RemoteWriteSetInfo] = []
+        for batch in batches:
+            size = 32 + sum(info.size_bytes() for info in batch)
+            yield self.network.transfer(size)
+            remote.extend(batch)
+        if not batches:
+            # Empty answer: the replica learns it is up to date.
+            yield self.network.transfer(16)
+        elif extend_horizons and applied_version is not None:
+            # As with the pull protocol's check_back_to: extend the
+            # intersection tests to the caller's version so an ordered
+            # (Tashkent-API) replica can submit the batch concurrently.
+            remote = self.certifier.extend_remote_horizons(remote, applied_version)
         return remote
 
     # -- the single log-writer thread -----------------------------------------------
@@ -122,18 +205,30 @@ class SimCertifierNode:
             batch = [first] + self._flush_queue.get_all()
             yield from self.disk.fsync()
             self.batch_stats.record_flush(len(batch))
-            max_version = max(version for version, _ in batch)
+            max_version = max(batch)
             if max_version > self.certifier.log.durable_version:
                 self.certifier.log.mark_durable(max_version)
-            for _version, durable in batch:
-                if durable is not None:
-                    durable.succeed()
+            # Durability announcement over the bus: wakes every certification
+            # fragment blocked on this flush and feeds the writeset stream —
+            # with the explicit policy the propagation batch each replica
+            # receives is exactly this fsync group.
+            self.stream.propagate_from_log(
+                self.certifier.log, batch,
+                now=self.env.now, aligned=self._fsync_aligned_propagation,
+            )
+            self.bus.publish(DURABILITY_TOPIC, tuple(sorted(batch)))
             # Off the critical path: bound the log by pruning the durable
             # prefix below the replicas' low-water mark every few flushes.
             self._flushes_since_gc += 1
             if self.gc_interval_flushes and self._flushes_since_gc >= self.gc_interval_flushes:
                 self._flushes_since_gc = 0
                 self.certifier.collect_garbage(headroom=self.gc_headroom_versions)
+
+    def _on_durability_announcement(self, message: Message) -> None:
+        for version in message.payload:  # type: ignore[union-attr]
+            waiter = self._durability_waiters.pop(version, None)
+            if waiter is not None:
+                waiter.succeed(version)
 
     # -- statistics -----------------------------------------------------------------------
 
@@ -153,6 +248,9 @@ class SimCertifierNode:
                 "certifier_writesets_per_fsync": self.writesets_per_fsync,
                 "certifier_disk_utilization": self.disk.utilization(),
                 "certifier_cpu_utilization": self.cpu.utilization(),
+                "certifier_propagation_batches": float(self.stream.stats.flushes),
+                "certifier_writesets_per_propagation_batch":
+                    self.stream.stats.average_batch_size,
             }
         )
         return stats

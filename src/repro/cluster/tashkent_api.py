@@ -79,11 +79,7 @@ class TashkentAPIModel(SystemModel):
         # shared with other pending commits, before the next group (and the
         # local commit) may be handed to the database.
         for group in groups[:-1]:
-            service = yield from replica.disk.fsync()
-            if replica.ordered_flush_overhead_factor > 1.0:
-                yield self.env.timeout(service * (replica.ordered_flush_overhead_factor - 1.0))
-            replica.group_commit_stats.record_flush(len(group))
-            replica.mark_durable_versions(info.commit_version for info in group)
+            yield from self._flush_serial_group(replica, group)
         final_remote = groups[-1] if groups else []
         local_records = 1 if result.committed else 0
         if final_remote or local_records:
@@ -104,6 +100,36 @@ class TashkentAPIModel(SystemModel):
             replica.observe_commit(result.tx_commit_version)
             return True, None
         return False, "forced-abort" if result.forced_abort else "certification"
+
+    def _flush_serial_group(self, replica: SimReplicaNode, group: list) -> Generator:
+        """One conflict-separated group's own synchronous write, with the
+        Section 9.2 ordered-flush overhead applied."""
+        service = yield from replica.disk.fsync()
+        if replica.ordered_flush_overhead_factor > 1.0:
+            yield self.env.timeout(
+                service * (replica.ordered_flush_overhead_factor - 1.0)
+            )
+        replica.group_commit_stats.record_flush(len(group))
+        replica.mark_durable_versions(info.commit_version for info in group)
+
+    def _commit_refreshed(self, replica: SimReplicaNode, pending: list,
+                          base_version: int) -> Generator:
+        """Refreshed writesets go through artificial-conflict planning, just
+        like the in-band path: each conflict-separated group needs its own
+        serial flush, only the final group shares the log writer's grouped
+        flush (Section 9.3)."""
+        plan = self.conflict_detector.plan(pending, base_version)
+        self.remote_groups_planned += 1
+        self.artificial_conflicts += plan.artificial_conflicts
+        self.serialization_points += plan.serialization_points
+        groups = plan.groups
+        for group in groups[:-1]:
+            yield from self._flush_serial_group(replica, group)
+        final = groups[-1] if groups else []
+        if final:
+            durable = replica.submit_commit_records(len(final))
+            yield durable
+            replica.mark_durable_versions(info.commit_version for info in final)
 
     # -- reporting -------------------------------------------------------------------
 

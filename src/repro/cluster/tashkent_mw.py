@@ -44,3 +44,13 @@ class TashkentMWModel(SystemModel):
         if result.committed:
             return True, None
         return False, "forced-abort" if result.forced_abort else "certification"
+
+    def _commit_refreshed(self, replica: SimReplicaNode, pending: list,
+                          base_version: int) -> Generator:
+        """Refreshed writesets commit in memory: durability lives with the
+        certifier, so the staleness path costs CPU only."""
+        yield replica.commit_lock.request()
+        try:
+            yield from replica.cpu.execute(self.workload.in_memory_commit_ms)
+        finally:
+            replica.commit_lock.release()

@@ -263,6 +263,47 @@ class Certifier:
             self.note_replica_version(replica, replica_version)
         return remote
 
+    def extend_remote_horizons(self, infos: list[RemoteWriteSetInfo],
+                               back_to: int) -> list[RemoteWriteSetInfo]:
+        """Extend delivered writesets' conflict-free horizons back to ``back_to``.
+
+        The push-based transport stamps each writeset's horizon once, at
+        propagation time; a Tashkent-API replica that wants to submit a
+        refresh batch concurrently asks the certifier to extend the
+        intersection tests to its own version afterwards (Section 5.2.1),
+        exactly as the old pull carried ``check_back_to``.  Records already
+        pruned by log GC keep their delivered horizon (the planner falls
+        back to its pairwise check).
+        """
+        extended: list[RemoteWriteSetInfo] = []
+        for info in infos:
+            horizon = info.conflict_free_back_to
+            if info.commit_version > self.log.pruned_version:
+                # The delivered horizon is a propagation-time snapshot;
+                # another replica may have extended the record since.  Read
+                # the live one first so already-covered extensions charge no
+                # intersection tests (matching the old pull accounting).
+                horizon = min(horizon,
+                              self.log.certified_back_to(info.commit_version))
+            if back_to < horizon and info.commit_version > self.log.pruned_version:
+                self.intersection_tests += info.writeset.distinct_item_count()
+                if self.log.extend_certification(info.commit_version, back_to):
+                    horizon = back_to
+                else:
+                    horizon = self.log.certified_back_to(info.commit_version)
+            if horizon == info.conflict_free_back_to:
+                extended.append(info)
+            else:
+                extended.append(
+                    RemoteWriteSetInfo(
+                        commit_version=info.commit_version,
+                        writeset=info.writeset,
+                        origin_replica=info.origin_replica,
+                        conflict_free_back_to=horizon,
+                    )
+                )
+        return extended
+
     # -- internals -----------------------------------------------------------
 
     def _find_conflict(self, writeset: WriteSet, after_version: int) -> int | None:

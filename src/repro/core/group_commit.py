@@ -32,12 +32,27 @@ T = TypeVar("T")
 
 @dataclass
 class GroupCommitStats:
-    """Aggregate statistics about flush batching."""
+    """Aggregate statistics about flush batching.
+
+    Per-flush state is O(1): instead of remembering every batch size forever
+    (the seed kept an ever-growing ``batch_sizes`` list — one entry per flush
+    for the lifetime of the process), sizes are folded into a running
+    histogram over power-of-two buckets.  ``largest_batch`` and the mean
+    (``records_flushed / flushes``) are exact; the distribution is available
+    at bucket granularity via :attr:`batch_size_histogram`.
+    """
 
     flushes: int = 0
     records_flushed: int = 0
     largest_batch: int = 0
-    batch_sizes: list[int] = field(default_factory=list)
+    #: Flush count per power-of-two batch-size bucket: key ``b`` counts
+    #: batches of size in ``(b/2, b]`` (so 1, 2, 4, 8, ... records).  At most
+    #: ~60 keys ever exist, regardless of how long the process runs.
+    batch_size_histogram: dict[int, int] = field(default_factory=dict)
+
+    @staticmethod
+    def _bucket(batch_size: int) -> int:
+        return 1 << (batch_size - 1).bit_length()
 
     def record_flush(self, batch_size: int) -> None:
         if batch_size <= 0:
@@ -45,7 +60,8 @@ class GroupCommitStats:
         self.flushes += 1
         self.records_flushed += batch_size
         self.largest_batch = max(self.largest_batch, batch_size)
-        self.batch_sizes.append(batch_size)
+        bucket = self._bucket(batch_size)
+        self.batch_size_histogram[bucket] = self.batch_size_histogram.get(bucket, 0) + 1
 
     @property
     def average_batch_size(self) -> float:
@@ -56,7 +72,10 @@ class GroupCommitStats:
         self.flushes += other.flushes
         self.records_flushed += other.records_flushed
         self.largest_batch = max(self.largest_batch, other.largest_batch)
-        self.batch_sizes.extend(other.batch_sizes)
+        for bucket, count in other.batch_size_histogram.items():
+            self.batch_size_histogram[bucket] = (
+                self.batch_size_histogram.get(bucket, 0) + count
+            )
 
 
 class GroupCommitBatcher(Generic[T]):

@@ -150,10 +150,19 @@ class WriteSet:
 
     @classmethod
     def union(cls, writesets: Iterable["WriteSet"]) -> "WriteSet":
-        """Combine several writesets into one (the paper's T1_2_3 grouping)."""
+        """Combine several writesets into one (the paper's T1_2_3 grouping).
+
+        Items are shared, not copied, and identities merge set-at-a-time —
+        this sits on the group-apply hot path where a batch of remote
+        writesets becomes a single WAL record.
+        """
         combined = cls()
+        items = combined._items
+        ids = combined._item_ids
         for writeset in writesets:
-            combined.merge(writeset)
+            items.extend(writeset._items)
+            ids.update(writeset._item_ids)
+        combined._size_bytes = None
         return combined
 
     # -- interrogation -----------------------------------------------------

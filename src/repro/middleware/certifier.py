@@ -33,6 +33,7 @@ from repro.core.certification import (
 from repro.core.certifier_log import CertifierLog
 from repro.core.group_commit import GroupCommitBatcher
 from repro.engine.log_device import CountingLogDevice, LogDevice
+from repro.transport import FlushPolicy, WritesetStream, WritesetSubscription
 
 
 @dataclass
@@ -53,6 +54,11 @@ class CertifierConfig:
     #: start version slightly trails their replica's reported version are
     #: never conservatively aborted ("snapshot too old").
     gc_headroom_versions: int = 256
+    #: Batching policy of the outbound writeset stream.  ``None`` keeps the
+    #: stream on explicit flushing, which aligns every propagation batch with
+    #: a durability flush: exactly the writesets that shared one fsync are
+    #: delivered to the replicas as one batch.
+    propagation_policy: FlushPolicy | None = None
 
 
 class CertifierService:
@@ -74,6 +80,11 @@ class CertifierService:
             abort_chooser=self._rng.random,
         )
         self._batcher: GroupCommitBatcher[int] = GroupCommitBatcher()
+        #: The outbound propagation channel shared by every replica proxy.
+        self.stream = WritesetStream(policy=self.config.propagation_policy)
+        #: With no custom policy, propagation batches align with durability
+        #: flushes (the fsync group is the batch boundary).
+        self._fsync_aligned_propagation = self.config.propagation_policy is None
 
     # -- main request path ------------------------------------------------------
 
@@ -84,6 +95,13 @@ class CertifierService:
             self._batcher.enqueue(result.tx_commit_version)
             if self.config.durability_enabled:
                 self.flush()
+            else:
+                # The decision is released before the log write, so the
+                # writeset propagates immediately rather than at flush time.
+                self.stream.propagate_from_log(
+                    self.core.log, (result.tx_commit_version,),
+                    aligned=self._fsync_aligned_propagation,
+                )
         interval = self.config.gc_interval_requests
         if interval > 0 and self.core.certification_requests % interval == 0:
             if not self.config.durability_enabled:
@@ -102,6 +120,11 @@ class CertifierService:
         return self.core.fetch_remote_writesets(replica_version, check_back_to,
                                                 replica=replica)
 
+    def extend_remote_horizons(self, infos: list[RemoteWriteSetInfo],
+                               back_to: int) -> list[RemoteWriteSetInfo]:
+        """Extend pushed writesets' conflict-free horizons (Section 5.2.1)."""
+        return self.core.extend_remote_horizons(infos, back_to)
+
     # -- log garbage collection -----------------------------------------------
 
     def register_replica(self, replica: str, version: int = 0) -> None:
@@ -114,8 +137,14 @@ class CertifierService:
         self.core.note_replica_version(replica, version)
 
     def disconnect_replica(self, replica: str) -> None:
-        """Remove a replica from the low-water-mark protocol."""
+        """Remove a replica from the low-water-mark protocol and the stream.
+
+        Closing the stream subscription matters as much as forgetting the
+        watermark: a dead subscription would otherwise accumulate every
+        future batch unread, unbounded by log GC.
+        """
         self.core.forget_replica(replica)
+        self.stream.detach_replica(replica)
 
     def collect_garbage(self) -> int:
         """Prune the durable log prefix below the replicas' low-water mark."""
@@ -139,7 +168,23 @@ class CertifierService:
         self.device.sync()
         self._batcher.complete_batch()
         self.core.log.mark_durable(max(batch))
+        # Propagate the freshly durable writesets: with the default explicit
+        # policy the delivered batch is exactly this fsync group; a custom
+        # policy decides its own batch boundaries.
+        self.stream.propagate_from_log(self.core.log, batch,
+                                       aligned=self._fsync_aligned_propagation)
         return len(batch)
+
+    # -- propagation (the transport layer) -------------------------------------
+
+    def subscribe_replica(self, replica: str, from_version: int = 0) -> WritesetSubscription:
+        """Attach a replica to the writeset stream (and the GC protocol).
+
+        The subscription is backfilled with every log record after
+        ``from_version`` so a late joiner starts complete; afterwards the
+        replica receives writesets purely as pushed batches.
+        """
+        return self.stream.attach_replica(self.core, replica, from_version)
 
     # -- statistics ------------------------------------------------------------------
 
@@ -167,6 +212,8 @@ class CertifierService:
                 "fsyncs": float(self.fsync_count),
                 "writesets_per_fsync": self.writesets_per_fsync,
                 "durable_version": float(self.core.log.durable_version),
+                "propagation_batches": float(self.stream.stats.flushes),
+                "writesets_per_propagation_batch": self.stream.stats.average_batch_size,
             }
         )
         return stats

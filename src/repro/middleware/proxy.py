@@ -110,9 +110,13 @@ class TransparentProxy:
         self.proxy_log: list[tuple[int, WriteSet]] = []
         self.conflict_detector = ArtificialConflictDetector()
         self.stats = ProxyStats()
-        # Join the certifier's log-GC low-water-mark protocol immediately so
-        # an idle replica is never pruned past before its first commit.
-        self.certifier.register_replica(replica_name, database.current_version)
+        # Subscribe to the certifier's writeset stream (which also joins the
+        # log-GC low-water-mark protocol, so an idle replica is never pruned
+        # past before its first commit).  All remote writesets now arrive as
+        # pushed batches on this subscription; there is no pull protocol.
+        self.subscription = self.certifier.subscribe_replica(
+            replica_name, database.current_version
+        )
         # Tashkent-MW replicas run without synchronous commit at the database.
         if system is SystemKind.TASHKENT_MW:
             self.database.set_synchronous_commit(False)
@@ -215,6 +219,10 @@ class TransparentProxy:
         else:
             outcome = self._finalize_serial(txn, writeset, result)
         outcome.replica_fsyncs = self.database.fsync_count - fsyncs_before
+        # Everything up to replica_version arrived in-band with this commit;
+        # trimming the subscription keeps a busy replica's queue bounded even
+        # if it never becomes idle enough to refresh.
+        self.subscription.advance_to(self.replica_version.version)
         return outcome
 
     def abort(self, txn: ProxyTransaction) -> None:
@@ -264,14 +272,19 @@ class TransparentProxy:
         )
 
     def _apply_remote_serial(self, remote: list[RemoteWriteSetInfo]) -> int:
-        """Apply remote writesets grouped into a single transaction ([C4])."""
+        """Apply remote writesets as one group ([C4]).
+
+        Uses the engine's group-apply path: every writeset is installed at
+        its own global commit version, but the batch costs a single version
+        bump and a single WAL append (one synchronous write at most).
+        """
         pending = [info for info in remote
                    if info.commit_version > self.replica_version.version]
         if not pending:
             return 0
         max_version = max(info.commit_version for info in pending)
-        self.database.apply_writesets_grouped(
-            (info.writeset for info in pending), version=max_version
+        self.database.apply_writeset_batch(
+            (info.commit_version, info.writeset) for info in pending
         )
         for info in pending:
             self.proxy_log.append((info.commit_version, info.writeset))
@@ -397,20 +410,38 @@ class TransparentProxy:
     # ------------------------------------------------------------------ bounded staleness
 
     def refresh(self) -> int:
-        """Proactively pull remote writesets from the certifier (Section 6.2).
+        """Drain the writeset subscription and apply what is missing (§6.2).
 
         Returns the number of writesets applied.  Called by the replica when
-        it has not received updates for ``staleness_bound_ms``.
+        it has not received updates for ``staleness_bound_ms``.  The pushed
+        batches pending on the subscription are coalesced and applied as one
+        group — the paper's grouped remote transaction (T1_2_3) — so a
+        refresh costs at most one synchronous write on the serial path.
         """
-        remote = self.certifier.fetch_remote_writesets(
-            self.replica_version.version,
-            self.replica_version.version if self.system.supports_ordered_commit else None,
-            replica=self.replica_name,
-        )
+        # Bounded staleness overrides the batching policy: deliver whatever
+        # the certifier has released, even a sub-cap/sub-window tail the
+        # policy would keep holding.
+        self.certifier.stream.flush()
+        # The subscription cursor can trail ``replica_version`` when writesets
+        # arrived in-band with a certification response; advancing it first
+        # drops those from the poll, so the ordered path never re-applies a
+        # version it already holds.
+        self.subscription.advance_to(self.replica_version.version)
+        remote = self.subscription.poll_flat()
         self.stats.staleness_refreshes += 1
+        # Report the applied watermark even when nothing new arrived, so a
+        # read-mostly replica keeps feeding the certifier's log-GC protocol.
+        self.certifier.register_replica(self.replica_name, self.replica_version.version)
         if not remote:
             return 0
         if self.system.supports_ordered_commit:
+            # Ask the certifier to extend the intersection tests back to this
+            # replica's version (the pull protocol's check_back_to), so
+            # conflict-free writesets can share one submission group instead
+            # of serializing on their propagation-time horizons.
+            remote = self.certifier.extend_remote_horizons(
+                remote, self.replica_version.version
+            )
             plan = self.conflict_detector.plan(remote, self.replica_version.version)
             return self._apply_plan(plan, local_txn=None, local_version=None)
         return self._apply_remote_serial(remote)

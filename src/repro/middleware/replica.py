@@ -25,7 +25,12 @@ class ReplicaStats:
     """Per-replica counters exposed to the evaluation harness."""
 
     checkpoints_taken: int = 0
+    #: Refreshes that actually applied at least one missed writeset.
     refreshes: int = 0
+    #: Refreshes that found the replica already up to date.  Counted apart
+    #: from :attr:`refreshes` so staleness metrics reflect genuine catch-up
+    #: work rather than timer firings.
+    noop_refreshes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -80,9 +85,13 @@ class Replica:
     # -- bounded staleness ------------------------------------------------------------
 
     def refresh(self) -> int:
-        """Pull and apply any remote writesets the replica has missed."""
-        self.stats.refreshes += 1
-        return self.proxy.refresh()
+        """Drain and apply any remote writesets the replica has missed."""
+        applied = self.proxy.refresh()
+        if applied:
+            self.stats.refreshes += 1
+        else:
+            self.stats.noop_refreshes += 1
+        return applied
 
     # -- schema management ---------------------------------------------------------------
 

@@ -1,0 +1,155 @@
+"""A tiny topic-based message bus.
+
+The bus is the delivery fabric under the transport layer: publishers post a
+payload on a topic, and every subscription of that topic receives it.  The
+bus itself is synchronous and timing-free — delivery places the message in
+the subscription's queue (or invokes its callback) immediately.  *When* the
+payload actually "arrives" is the caller's business: the functional
+middleware drains queues inline, while the simulated cluster wraps each
+drain in a network-transfer delay from :mod:`repro.sim.devices`.
+
+Keeping time out of the bus is what lets the functional and the simulated
+stacks share one transport implementation, the same way the pure
+:class:`~repro.core.certification.Certifier` is shared by both certifier
+front-ends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published payload, stamped with its bus-wide sequence number."""
+
+    topic: str
+    payload: object
+    seq: int
+
+
+@dataclass
+class BusStats:
+    """Counters the benchmarks and tests read off a bus."""
+
+    published: int = 0
+    deliveries: int = 0
+    dropped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class BusSubscription:
+    """One subscriber's inbox on a topic.
+
+    Messages are queued until :meth:`poll` drains them; alternatively a
+    ``callback`` receives each message at publish time (used by the simulated
+    certifier's durability announcements, where the subscriber reacts
+    immediately and queueing would only add latency).
+    """
+
+    def __init__(self, bus: "MessageBus", topic: str, name: str,
+                 callback: Callable[[Message], None] | None = None) -> None:
+        self.bus = bus
+        self.topic = topic
+        self.name = name
+        self.callback = callback
+        self._queue: deque[Message] = deque()
+        self.delivered = 0
+        self.closed = False
+
+    # -- delivery (bus side) -------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        self.delivered += 1
+        if self.callback is not None:
+            self.callback(message)
+        else:
+            self._queue.append(message)
+
+    # -- consumption (subscriber side) ---------------------------------------
+
+    def poll(self, max_messages: int | None = None) -> list[Message]:
+        """Drain queued messages (all of them, or at most ``max_messages``)."""
+        if max_messages is None or max_messages >= len(self._queue):
+            drained = list(self._queue)
+            self._queue.clear()
+            return drained
+        return [self._queue.popleft() for _ in range(max_messages)]
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def close(self) -> None:
+        """Detach from the bus; queued messages are dropped."""
+        self.bus.unsubscribe(self)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"BusSubscription(topic={self.topic!r}, name={self.name!r}, "
+            f"pending={len(self._queue)})"
+        )
+
+
+class MessageBus:
+    """Topic-based publish/subscribe with per-subscriber queues."""
+
+    def __init__(self, *, name: str = "bus") -> None:
+        self.name = name
+        self._subscriptions: dict[str, list[BusSubscription]] = {}
+        self._seq = 0
+        self.stats = BusStats()
+
+    def subscribe(self, topic: str, name: str,
+                  callback: Callable[[Message], None] | None = None) -> BusSubscription:
+        """Open a subscription on ``topic``; ``name`` identifies the consumer."""
+        if not topic:
+            raise ConfigurationError("topic must be non-empty")
+        subscription = BusSubscription(self, topic, name, callback)
+        self._subscriptions.setdefault(topic, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: BusSubscription) -> None:
+        subscribers = self._subscriptions.get(subscription.topic, [])
+        if subscription in subscribers:
+            subscribers.remove(subscription)
+        subscription.closed = True
+        # Honour close()'s contract: queued messages are dropped, so a
+        # retained reference cannot poll stale deliveries or pin payloads.
+        subscription._queue.clear()
+
+    def publish(self, topic: str, payload: object) -> Message:
+        """Publish ``payload`` on ``topic``, fanning out to every subscriber.
+
+        Returns the stamped message.  Publishing on a topic nobody listens to
+        is legal (the message is counted as dropped) — components announce
+        unconditionally and do not care who listens, exactly like the
+        certifier announcing durability whether or not a replica is behind.
+        """
+        self._seq += 1
+        message = Message(topic=topic, payload=payload, seq=self._seq)
+        self.stats.published += 1
+        subscribers = self._subscriptions.get(topic, ())
+        if not subscribers:
+            self.stats.dropped += 1
+            return message
+        for subscription in list(subscribers):
+            subscription._deliver(message)
+            self.stats.deliveries += 1
+        return message
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self._subscriptions.get(topic, ()))
+
+    def __repr__(self) -> str:
+        topics = {t: len(s) for t, s in self._subscriptions.items() if s}
+        return f"MessageBus(name={self.name!r}, topics={topics}, published={self.stats.published})"

@@ -1,0 +1,144 @@
+"""Batching / flush policies for the transport layer.
+
+A :class:`FlushPolicy` decides *when* a stream of enqueued messages is cut
+into a delivery batch.  The three policies mirror the batching regimes the
+paper's systems exhibit on the serialized durability path:
+
+* :class:`ImmediateFlushPolicy` — every message is its own batch.  This is
+  per-writeset propagation: the behaviour of a naive push system (and of
+  Base's serial commit submission, which cannot group at all).
+* :class:`SizeCappedFlushPolicy` — a batch is cut as soon as ``max_batch``
+  messages are pending; an explicit flush cuts a smaller one.  This is the
+  "everything pending when the writer wakes up" regime of group commit,
+  bounded so a burst cannot produce an arbitrarily large delivery.
+* :class:`TimeWindowFlushPolicy` — a batch is cut once the oldest pending
+  message has waited ``window_ms``.  This is the bounded-staleness regime:
+  propagation latency is traded for batch size (Section 6.2 of the paper
+  bounds the trade with the staleness timer).
+
+Policies are deliberately tiny and stateless: the stream owns the pending
+queue (a :class:`~repro.core.group_commit.GroupCommitBatcher`) and asks the
+policy after every enqueue whether to cut a batch now.  Callers that manage
+their own flush points (the certifier's log writer, which aligns propagation
+batches with fsync batches) simply use a policy that never fires on its own
+and call ``flush()`` explicitly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+
+
+class FlushPolicy(abc.ABC):
+    """Decides when pending transport messages are cut into a batch."""
+
+    #: Hard cap on the size of one delivered batch (``None`` = unbounded).
+    max_batch: int | None = None
+
+    @abc.abstractmethod
+    def should_flush(self, pending: int, oldest_age_ms: float) -> bool:
+        """True when the pending queue should be cut into a batch now.
+
+        ``pending`` is the number of enqueued messages; ``oldest_age_ms`` is
+        how long the oldest of them has been waiting (0.0 for callers without
+        a clock, such as the functional middleware stack).
+        """
+
+    def describe(self) -> str:
+        """Short human-readable name used in statistics and benchmarks."""
+        return type(self).__name__
+
+
+class ImmediateFlushPolicy(FlushPolicy):
+    """Per-writeset propagation: every message is delivered on its own."""
+
+    max_batch = 1
+
+    def should_flush(self, pending: int, oldest_age_ms: float) -> bool:
+        return pending > 0
+
+    def describe(self) -> str:
+        return "immediate"
+
+
+class SizeCappedFlushPolicy(FlushPolicy):
+    """Cut a batch whenever ``max_batch`` messages are pending."""
+
+    def __init__(self, max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        self.max_batch = max_batch
+
+    def should_flush(self, pending: int, oldest_age_ms: float) -> bool:
+        return pending >= self.max_batch
+
+    def describe(self) -> str:
+        return f"size-capped({self.max_batch})"
+
+
+class TimeWindowFlushPolicy(FlushPolicy):
+    """Cut a batch once the oldest pending message has waited ``window_ms``.
+
+    An optional ``max_batch`` bounds the batch a long window can accumulate.
+    """
+
+    def __init__(self, window_ms: float, *, max_batch: int | None = None) -> None:
+        if window_ms < 0:
+            raise ConfigurationError("window_ms must be non-negative")
+        if max_batch is not None and max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1 when given")
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+
+    def should_flush(self, pending: int, oldest_age_ms: float) -> bool:
+        if pending <= 0:
+            return False
+        if self.max_batch is not None and pending >= self.max_batch:
+            return True
+        return oldest_age_ms >= self.window_ms
+
+    def describe(self) -> str:
+        return f"time-windowed({self.window_ms}ms)"
+
+
+class ExplicitFlushPolicy(FlushPolicy):
+    """Never fires on its own; batches are cut only by explicit ``flush()``.
+
+    Used when the caller already has a natural batch boundary — the
+    certifier's log writer aligns propagation batches with its fsync batches,
+    so every replica receives exactly the group of writesets that shared one
+    synchronous log write.  ``max_batch`` bounds a single delivery anyway.
+    """
+
+    def __init__(self, max_batch: int | None = None) -> None:
+        if max_batch is not None and max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1 when given")
+        self.max_batch = max_batch
+
+    def should_flush(self, pending: int, oldest_age_ms: float) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "explicit"
+
+
+def policy_from_name(name: str, *, batch_size: int = 64,
+                     window_ms: float = 0.0) -> FlushPolicy:
+    """Build a policy from a configuration string.
+
+    Recognised names: ``immediate``, ``size``, ``window``, ``explicit``.
+    """
+    if name == "immediate":
+        return ImmediateFlushPolicy()
+    if name == "size":
+        return SizeCappedFlushPolicy(batch_size)
+    if name == "window":
+        return TimeWindowFlushPolicy(window_ms, max_batch=batch_size)
+    if name == "explicit":
+        # Unbounded, like the default wiring: an explicit flush delivers the
+        # caller's whole batch (e.g. one fsync group) as one delivery, so
+        # propagation statistics stay aligned with durability statistics.
+        return ExplicitFlushPolicy(None)
+    raise ConfigurationError(f"unknown flush policy {name!r}")
