@@ -1,4 +1,10 @@
-"""Result tables and paper-versus-measured reporting."""
+"""Result tables and paper-versus-measured reporting.
+
+Formatting helpers (:func:`format_table`, :func:`format_series`, ASCII
+figure rendering) and sweep summarisation used by the benchmark harness to
+print the paper's tables and by ``BENCH_*.json`` emitters —
+``docs/benchmarks.md`` explains how to read the outputs.
+"""
 
 from repro.analysis.results import ResultTable, SpeedupSummary, summarize_sweep
 from repro.analysis.report import format_series, format_table, render_figure

@@ -1,0 +1,59 @@
+"""The cluster scheduler: conflict- and load-aware transaction routing.
+
+The paper's evaluation statically pins a fixed client population to each
+replica.  This package is the dynamic front door that replaces that pinning
+for production-style traffic:
+
+* :mod:`repro.balancer.policies` — pluggable routing policies (round-robin,
+  least-loaded, staleness-aware, conflict-aware affinity grouping);
+* :mod:`repro.balancer.scheduler` — :class:`ClusterScheduler`: per-replica
+  admission control with a configurable multiprogramming limit, a bounded
+  FIFO wait queue with deadlines, live health/lag signals fed from the
+  replicas and their transport subscriptions, and mid-route fail-over;
+* :mod:`repro.balancer.session` — :class:`RoutedSession`, the routed
+  counterpart of the functional stack's pinned
+  :class:`~repro.middleware.client_api.ClientSession`.
+
+Both stacks consume it: the functional middleware via
+:meth:`~repro.middleware.systems.ReplicatedSystem.routed_session`, the
+simulated cluster via ``ExperimentConfig(routing=...)``.  See
+``docs/scheduler.md`` for the policy catalogue and sizing guidance, and
+``benchmarks/test_scheduler_routing.py`` for the measured abort-rate and
+throughput deltas.
+"""
+
+from repro.balancer.policies import (
+    ConflictAwarePolicy,
+    LeastLoadedPolicy,
+    ReplicaView,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    RoutingRequest,
+    StalenessAwarePolicy,
+    routing_policy_from_name,
+)
+from repro.balancer.scheduler import (
+    ClusterScheduler,
+    ReplicaEndpoint,
+    RouteTicket,
+    SchedulerStats,
+    TicketState,
+)
+from repro.balancer.session import RoutedSession
+
+__all__ = [
+    "ClusterScheduler",
+    "ConflictAwarePolicy",
+    "LeastLoadedPolicy",
+    "ReplicaEndpoint",
+    "ReplicaView",
+    "RoundRobinPolicy",
+    "RouteTicket",
+    "RoutedSession",
+    "RoutingPolicy",
+    "RoutingRequest",
+    "SchedulerStats",
+    "StalenessAwarePolicy",
+    "TicketState",
+    "routing_policy_from_name",
+]

@@ -1,0 +1,251 @@
+"""Routing policies: which replica should run the next transaction.
+
+The paper's experiments pin a fixed client population to each replica; the
+cluster scheduler replaces that static assignment with a per-transaction
+routing decision.  A policy sees one :class:`RoutingRequest` (who is asking,
+what the transaction intends to write) and a snapshot of every healthy
+replica (:class:`ReplicaView`: in-flight count, applied version, propagation
+lag) and returns a *preference order*; the scheduler admits the first
+preference with a free multiprogramming slot, so a policy never has to
+reason about admission control itself.
+
+Why conflict-aware routing matters under GSI: a replica learns about a
+commit only when the next certification response (or a staleness refresh)
+reaches it, so every replica trails the certifier head by roughly one
+durability round trip.  A client whose consecutive transactions rewrite the
+same item is therefore guaranteed a certification abort whenever it is
+routed to a replica that has not yet observed its previous commit — the
+writeset intersects its own predecessor.  Routing writers of overlapping
+item sets to the same replica removes exactly those staleness self-conflicts
+(the replica that executed the previous write observed its commit version
+in-band) and it is the mechanism behind the abort-rate gap measured by
+``benchmarks/test_scheduler_routing.py``.
+
+See ``docs/scheduler.md`` for guidance on choosing a policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RoutingRequest:
+    """What the scheduler knows about a transaction before routing it."""
+
+    client: str = "client"
+    readonly: bool = False
+    #: Identities the transaction intends to write (``(table, key)`` pairs).
+    #: Empty when unknown — the functional session API cannot always predict
+    #: a transaction's writes, so hints are optional; the simulator passes
+    #: the profile's writeset identities.
+    item_ids: frozenset = frozenset()
+    #: The replica the client would be pinned to under the paper's static
+    #: assignment (used by workloads to key their key spaces; policies may
+    #: use it as a stickiness hint).
+    home_index: int | None = None
+
+
+@dataclass(frozen=True)
+class ReplicaView:
+    """A policy's snapshot of one routing candidate."""
+
+    index: int
+    name: str
+    #: Transactions currently admitted to this replica by the scheduler.
+    in_flight: int
+    #: The replica's applied GSI version (its proxy watermark).
+    applied_version: int
+    #: Writesets certified but not yet delivered to this replica (pending on
+    #: its transport subscription) — the propagation lag signal.
+    lag: int
+    healthy: bool = True
+
+
+class RoutingPolicy(abc.ABC):
+    """Orders healthy replicas by preference for one request."""
+
+    #: Short name used by :func:`routing_policy_from_name`, stats and benches.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def rank(self, request: RoutingRequest,
+             candidates: Sequence[ReplicaView]) -> list[int]:
+        """Return candidate replica indices, most preferred first.
+
+        ``candidates`` contains only healthy replicas; the scheduler admits
+        the first index with admission capacity and queues the request when
+        none has any.
+        """
+
+    def note_routed(self, request: RoutingRequest, replica_index: int) -> None:
+        """Hook invoked after admission with the finally-chosen replica.
+
+        Stateful policies (conflict-aware affinity) update their maps here
+        rather than in :meth:`rank`, because admission control may override
+        the first preference.
+        """
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _least_loaded_order(candidates: Sequence[ReplicaView]) -> list[int]:
+    return [view.index for view in
+            sorted(candidates, key=lambda v: (v.in_flight, v.index))]
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through the healthy replicas, ignoring every load signal."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def rank(self, request: RoutingRequest,
+             candidates: Sequence[ReplicaView]) -> list[int]:
+        if not candidates:
+            return []
+        start = self._cursor % len(candidates)
+        self._cursor += 1
+        rotated = list(candidates[start:]) + list(candidates[:start])
+        return [view.index for view in rotated]
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Prefer the replica with the fewest in-flight transactions."""
+
+    name = "least-loaded"
+
+    def rank(self, request: RoutingRequest,
+             candidates: Sequence[ReplicaView]) -> list[int]:
+        return _least_loaded_order(candidates)
+
+
+class StalenessAwarePolicy(RoutingPolicy):
+    """Prefer the replica with the freshest applied version.
+
+    Ties break on propagation lag (fewer undelivered writesets pending on
+    the transport subscription), then on in-flight load.  Useful for
+    read-heavy traffic where response freshness matters more than spreading
+    update load.
+    """
+
+    name = "staleness-aware"
+
+    def rank(self, request: RoutingRequest,
+             candidates: Sequence[ReplicaView]) -> list[int]:
+        return [view.index for view in
+                sorted(candidates,
+                       key=lambda v: (-v.applied_version, v.lag,
+                                      v.in_flight, v.index))]
+
+
+class ConflictAwarePolicy(RoutingPolicy):
+    """Group writers of overlapping item sets onto the same replica.
+
+    Keeps a bounded affinity map ``item identity -> replica`` of where each
+    item was last routed for writing.  A request is scored per candidate by
+    how many of its write identities have affinity there; the best overlap
+    wins, load breaks ties, and a request with no known items degrades to
+    least-loaded.  At the cap the map resets wholesale (an epoch flip, the
+    same bounded-cache shape as the writeset identity intern cache): hot
+    affinities re-form within a few transactions while a cold flood of
+    never-rewritten identities is released.
+
+    ``load_slack`` guards against affinity herding: a candidate whose
+    in-flight count exceeds the least-loaded candidate's by more than the
+    slack forfeits its affinity score, so a popular item set cannot drag the
+    whole workload onto one replica (hot TPC-B branch rows would otherwise
+    do exactly that).  Losing an affinity to the guard costs at most one
+    staleness self-conflict when the item moves; sustained imbalance costs
+    throughput on every transaction.
+    """
+
+    name = "conflict-aware"
+
+    def __init__(self, *, max_tracked_items: int = 1 << 16,
+                 load_slack: int = 2) -> None:
+        if max_tracked_items < 1:
+            raise ConfigurationError("max_tracked_items must be >= 1")
+        if load_slack < 0:
+            raise ConfigurationError("load_slack must be >= 0")
+        self.max_tracked_items = max_tracked_items
+        self.load_slack = load_slack
+        self._affinity: dict[object, int] = {}
+
+    def rank(self, request: RoutingRequest,
+             candidates: Sequence[ReplicaView]) -> list[int]:
+        if not request.item_ids or not candidates:
+            return _least_loaded_order(candidates)
+        scores: dict[int, int] = {}
+        for item_id in request.item_ids:
+            replica_index = self._affinity.get(item_id)
+            if replica_index is not None:
+                scores[replica_index] = scores.get(replica_index, 0) + 1
+        load_floor = min(view.in_flight for view in candidates)
+
+        def effective_score(view: ReplicaView) -> int:
+            if view.in_flight > load_floor + self.load_slack:
+                return 0
+            return scores.get(view.index, 0)
+
+        return [view.index for view in
+                sorted(candidates,
+                       key=lambda v: (-effective_score(v),
+                                      v.in_flight, v.index))]
+
+    def note_routed(self, request: RoutingRequest, replica_index: int) -> None:
+        if not request.item_ids:
+            return
+        if len(self._affinity) + len(request.item_ids) > self.max_tracked_items:
+            self._affinity.clear()
+        for item_id in request.item_ids:
+            self._affinity[item_id] = replica_index
+
+    @property
+    def tracked_items(self) -> int:
+        """Number of item identities currently holding an affinity."""
+        return len(self._affinity)
+
+    def forget_replica(self, replica_index: int) -> int:
+        """Drop every affinity pointing at ``replica_index`` (it went down)."""
+        stale = [item for item, index in self._affinity.items()
+                 if index == replica_index]
+        for item in stale:
+            del self._affinity[item]
+        return len(stale)
+
+
+_POLICY_CLASSES: dict[str, Callable[[], RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    StalenessAwarePolicy.name: StalenessAwarePolicy,
+    ConflictAwarePolicy.name: ConflictAwarePolicy,
+}
+
+
+def routing_policy_from_name(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy from its short name.
+
+    Accepted names: ``round-robin``, ``least-loaded``, ``staleness-aware``
+    and ``conflict-aware``.  Each call returns a fresh instance — policies
+    are stateful (round-robin cursor, affinity map) and must not be shared
+    between schedulers.
+    """
+    try:
+        factory = _POLICY_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICY_CLASSES))
+        raise ConfigurationError(
+            f"unknown routing policy {name!r} (known: {known})"
+        ) from None
+    return factory()

@@ -1,0 +1,406 @@
+"""The cluster scheduler: admission-controlled transaction routing.
+
+The scheduler is the cluster's front door.  It keeps one
+:class:`ReplicaEndpoint` per replica — live health, the in-flight count it
+maintains itself, and callables reading the replica's applied version and
+transport lag — and, for every incoming transaction, asks its
+:class:`~repro.balancer.policies.RoutingPolicy` for a preference order, then
+enforces **per-replica admission control**: at most ``multiprogramming_limit``
+transactions run on a replica at once, and requests that find every replica
+full wait in a bounded FIFO queue until a slot frees or their deadline
+passes.
+
+Like the transport layer, the scheduler is timing-free: every mutating call
+takes an explicit ``now`` and time only moves when the caller says so.  The
+functional middleware calls it inline (and never queues — a single-threaded
+caller waiting on itself would deadlock, so it submits with ``queue=False``);
+the simulated cluster drives it from client processes with virtual
+timestamps and uses the :attr:`RouteTicket.on_admit` callback to wake a
+queued client when :meth:`ClusterScheduler.release` promotes it.
+
+See ``docs/scheduler.md`` for the policy catalogue and sizing guidance.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.balancer.policies import (
+    ConflictAwarePolicy,
+    ReplicaView,
+    RoutingPolicy,
+    RoutingRequest,
+)
+from repro.errors import (
+    AdmissionTimeoutError,
+    ConfigurationError,
+    NoHealthyReplicaError,
+    SchedulerSaturatedError,
+)
+
+
+class TicketState(str, enum.Enum):
+    """Lifecycle of one routed transaction at the scheduler."""
+
+    QUEUED = "queued"
+    ADMITTED = "admitted"
+    RELEASED = "released"
+    TIMED_OUT = "timed-out"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class RouteTicket:
+    """One routed transaction's handle on the scheduler.
+
+    Admitted tickets carry the chosen ``replica_index`` and must be given
+    back via :meth:`ClusterScheduler.release` when the transaction finishes
+    (commit or abort).  Queued tickets are promoted by ``release`` as slots
+    free up; ``on_admit`` (if set) is called with the ticket at promotion
+    time so a simulated client can be woken.
+    """
+
+    request: RoutingRequest
+    state: TicketState = TicketState.QUEUED
+    replica_index: int | None = None
+    enqueued_at: float = 0.0
+    deadline: float | None = None
+    #: Virtual time spent waiting in the admission queue (set at promotion).
+    queue_wait_ms: float = 0.0
+    on_admit: Callable[["RouteTicket"], None] | None = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.state is TicketState.ADMITTED
+
+
+class ReplicaEndpoint:
+    """The scheduler's live view of one replica."""
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        *,
+        applied_version: Callable[[], int] = lambda: 0,
+        lag: Callable[[], int] = lambda: 0,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self._applied_version = applied_version
+        self._lag = lag
+        self.healthy = True
+        self.in_flight = 0
+        self.routed = 0
+
+    def view(self) -> ReplicaView:
+        return ReplicaView(
+            index=self.index,
+            name=self.name,
+            in_flight=self.in_flight,
+            applied_version=self._applied_version(),
+            lag=self._lag(),
+            healthy=self.healthy,
+        )
+
+    def __repr__(self) -> str:
+        state = "up" if self.healthy else "down"
+        return (f"ReplicaEndpoint(index={self.index}, name={self.name!r}, "
+                f"{state}, in_flight={self.in_flight})")
+
+
+@dataclass
+class SchedulerStats:
+    """Counters the benchmarks and tests read off a scheduler."""
+
+    submitted: int = 0
+    admitted_immediately: int = 0
+    queued: int = 0
+    admitted_from_queue: int = 0
+    admission_timeouts: int = 0
+    saturation_rejections: int = 0
+    cancelled: int = 0
+    failovers: int = 0
+    #: Routed transactions per replica name.
+    routed_per_replica: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return dict(self.__dict__)
+
+
+class ClusterScheduler:
+    """Routes transactions to replicas under per-replica admission control."""
+
+    def __init__(
+        self,
+        policy: RoutingPolicy,
+        *,
+        multiprogramming_limit: int | None = None,
+        max_queue_depth: int = 64,
+        queue_timeout_ms: float = 500.0,
+    ) -> None:
+        if multiprogramming_limit is not None and multiprogramming_limit < 1:
+            raise ConfigurationError("multiprogramming_limit must be >= 1")
+        if max_queue_depth < 0:
+            raise ConfigurationError("max_queue_depth must be >= 0")
+        if queue_timeout_ms <= 0:
+            raise ConfigurationError("queue_timeout_ms must be positive")
+        self.policy = policy
+        self.multiprogramming_limit = multiprogramming_limit
+        self.max_queue_depth = max_queue_depth
+        self.queue_timeout_ms = queue_timeout_ms
+        self.endpoints: list[ReplicaEndpoint] = []
+        self._queue: deque[RouteTicket] = deque()
+        self.stats = SchedulerStats()
+
+    # -- topology ------------------------------------------------------------
+
+    def add_replica(
+        self,
+        name: str,
+        *,
+        applied_version: Callable[[], int] = lambda: 0,
+        lag: Callable[[], int] = lambda: 0,
+    ) -> ReplicaEndpoint:
+        """Register one replica and return its endpoint handle."""
+        endpoint = ReplicaEndpoint(
+            len(self.endpoints), name,
+            applied_version=applied_version, lag=lag,
+        )
+        self.endpoints.append(endpoint)
+        return endpoint
+
+    def endpoint(self, index: int) -> ReplicaEndpoint:
+        return self.endpoints[index]
+
+    def mark_down(self, index: int) -> None:
+        """Take a replica out of routing (disconnect / health-check failure).
+
+        In-flight tickets on the replica are the caller's to resolve — use
+        :meth:`fail_over` for transactions that had not started executing.
+        A conflict-aware policy drops its affinities for the dead replica so
+        grouped writers rebuild their affinity on a healthy one.
+        """
+        endpoint = self.endpoints[index]
+        endpoint.healthy = False
+        if isinstance(self.policy, ConflictAwarePolicy):
+            self.policy.forget_replica(index)
+
+    def mark_up(self, index: int, *, now: float = 0.0) -> list[RouteTicket]:
+        """Return a replica to routing; promotes queued waiters onto it."""
+        self.endpoints[index].healthy = True
+        return self._promote(now)
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, request: RoutingRequest, *, now: float = 0.0,
+               queue: bool = True) -> RouteTicket:
+        """Route one transaction.
+
+        Returns an ``ADMITTED`` ticket when a healthy replica has a free
+        slot.  When every healthy replica is at its multiprogramming limit:
+        with ``queue=True`` the ticket joins the bounded wait queue (state
+        ``QUEUED``; :class:`SchedulerSaturatedError` when the queue is full),
+        with ``queue=False`` an :class:`AdmissionTimeoutError` is raised
+        immediately — the single-threaded functional caller cannot block.
+        Raises :class:`NoHealthyReplicaError` when no replica is routable.
+        """
+        self.expire_waiters(now)
+        self.stats.submitted += 1
+        ticket = RouteTicket(request=request, enqueued_at=now)
+        index = self._choose(request)
+        if index is not None:
+            self._admit(ticket, index, now=now)
+            self.stats.admitted_immediately += 1
+            return ticket
+        if not queue:
+            raise AdmissionTimeoutError(
+                f"no replica has a free multiprogramming slot for "
+                f"{request.client!r} (limit {self.multiprogramming_limit})"
+            )
+        if len(self._queue) >= self.max_queue_depth:
+            self.stats.saturation_rejections += 1
+            raise SchedulerSaturatedError(
+                f"admission queue full ({self.max_queue_depth} waiting)"
+            )
+        ticket.deadline = now + self.queue_timeout_ms
+        self._queue.append(ticket)
+        self.stats.queued += 1
+        return ticket
+
+    def release(self, ticket: RouteTicket, *, now: float = 0.0) -> list[RouteTicket]:
+        """Finish a routed transaction and promote queued waiters.
+
+        Returns the tickets admitted from the queue as a consequence (their
+        ``on_admit`` callbacks have already fired).
+        """
+        if ticket.state is not TicketState.ADMITTED:
+            return []
+        assert ticket.replica_index is not None
+        self.endpoints[ticket.replica_index].in_flight -= 1
+        ticket.state = TicketState.RELEASED
+        return self._promote(now)
+
+    def cancel(self, ticket: RouteTicket, *, now: float = 0.0) -> None:
+        """Withdraw a queued ticket (the caller no longer wants the slot)."""
+        if ticket.state is not TicketState.QUEUED:
+            return
+        ticket.state = TicketState.CANCELLED
+        try:
+            self._queue.remove(ticket)
+        except ValueError:
+            pass
+        self.stats.cancelled += 1
+
+    def give_up(self, ticket: RouteTicket, *, now: float = 0.0) -> None:
+        """A queued caller stops waiting; bucket the exit correctly.
+
+        Counted as an **admission timeout** when the ticket's deadline has
+        been reached, as a **cancellation** when the caller withdrew early —
+        so ``SchedulerStats.admission_timeouts`` agrees with the
+        ``admission-timeout`` aborts the simulated clients record.
+        """
+        if ticket.state is not TicketState.QUEUED:
+            return
+        try:
+            self._queue.remove(ticket)
+        except ValueError:
+            pass
+        if ticket.deadline is not None and now >= ticket.deadline:
+            ticket.state = TicketState.TIMED_OUT
+            self.stats.admission_timeouts += 1
+        else:
+            ticket.state = TicketState.CANCELLED
+            self.stats.cancelled += 1
+
+    def expire_waiters(self, now: float) -> list[RouteTicket]:
+        """Time out queued tickets whose deadline has passed.
+
+        The comparison is strict: a slot freed at *exactly* the deadline
+        still promotes the waiter (:meth:`release` expires before admitting,
+        so ``<=`` would time out a ticket a same-instant promotion should
+        save).
+        """
+        expired: list[RouteTicket] = []
+        for ticket in list(self._queue):
+            if ticket.deadline is not None and ticket.deadline < now:
+                ticket.state = TicketState.TIMED_OUT
+                self._queue.remove(ticket)
+                self.stats.admission_timeouts += 1
+                expired.append(ticket)
+        return expired
+
+    def fail_over(self, ticket: RouteTicket, *, now: float = 0.0) -> RouteTicket:
+        """Re-route an admitted ticket whose replica disconnected mid-route.
+
+        Frees the dead replica's slot and re-admits the ticket on a healthy
+        replica (queueing it when all are full).  The same ticket object is
+        re-pointed so the caller's handle stays valid.
+        """
+        if ticket.state is TicketState.ADMITTED and ticket.replica_index is not None:
+            self.endpoints[ticket.replica_index].in_flight -= 1
+        ticket.state = TicketState.QUEUED
+        ticket.replica_index = None
+        self.stats.failovers += 1
+        index = self._choose(ticket.request)
+        if index is not None:
+            self._admit(ticket, index, now=now)
+            return ticket
+        if len(self._queue) >= self.max_queue_depth:
+            ticket.state = TicketState.TIMED_OUT
+            self.stats.saturation_rejections += 1
+            raise SchedulerSaturatedError(
+                f"admission queue full ({self.max_queue_depth} waiting)"
+            )
+        ticket.deadline = now + self.queue_timeout_ms
+        self._queue.append(ticket)
+        return ticket
+
+    # -- internals -----------------------------------------------------------
+
+    def _healthy_views(self) -> list[ReplicaView]:
+        views = [e.view() for e in self.endpoints if e.healthy]
+        if not views:
+            raise NoHealthyReplicaError(
+                f"all {len(self.endpoints)} replicas are marked down"
+            )
+        return views
+
+    def _has_capacity(self, index: int) -> bool:
+        if self.multiprogramming_limit is None:
+            return True
+        return self.endpoints[index].in_flight < self.multiprogramming_limit
+
+    def _choose(self, request: RoutingRequest) -> int | None:
+        """Policy-ranked first healthy replica with a free slot, or None."""
+        for index in self.policy.rank(request, self._healthy_views()):
+            if self._has_capacity(index):
+                return index
+        return None
+
+    def _admit(self, ticket: RouteTicket, index: int, *, now: float) -> None:
+        endpoint = self.endpoints[index]
+        endpoint.in_flight += 1
+        endpoint.routed += 1
+        ticket.state = TicketState.ADMITTED
+        ticket.replica_index = index
+        ticket.queue_wait_ms = now - ticket.enqueued_at
+        self.stats.routed_per_replica[endpoint.name] = (
+            self.stats.routed_per_replica.get(endpoint.name, 0) + 1
+        )
+        self.policy.note_routed(ticket.request, index)
+
+    def _promote(self, now: float) -> list[RouteTicket]:
+        """Admit queued tickets (FIFO) while capacity remains."""
+        self.expire_waiters(now)
+        admitted: list[RouteTicket] = []
+        while self._queue:
+            ticket = self._queue[0]
+            index = self._choose(ticket.request)
+            if index is None:
+                break
+            self._queue.popleft()
+            self._admit(ticket, index, now=now)
+            self.stats.admitted_from_queue += 1
+            admitted.append(ticket)
+            if ticket.on_admit is not None:
+                ticket.on_admit(ticket)
+        return admitted
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def waiting(self) -> Iterable[RouteTicket]:
+        return tuple(self._queue)
+
+    def snapshot(self) -> dict[str, object]:
+        """Live per-replica signals plus the scheduler counters."""
+        return {
+            "policy": self.policy.describe(),
+            "multiprogramming_limit": self.multiprogramming_limit,
+            "queue_depth": self.queue_depth,
+            "replicas": [
+                {
+                    "name": e.name,
+                    "healthy": e.healthy,
+                    "in_flight": e.in_flight,
+                    "routed": e.routed,
+                    "applied_version": e._applied_version(),
+                    "lag": e._lag(),
+                }
+                for e in self.endpoints
+            ],
+            "stats": self.stats.as_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterScheduler(policy={self.policy.describe()}, "
+            f"replicas={len(self.endpoints)}, queue={self.queue_depth})"
+        )

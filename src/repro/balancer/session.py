@@ -1,0 +1,181 @@
+"""Routed client sessions for the functional middleware stack.
+
+A :class:`RoutedSession` is the scheduler-fronted counterpart of
+:class:`~repro.middleware.client_api.ClientSession`: instead of being pinned
+to one replica's proxy for its lifetime, it asks the cluster scheduler for a
+replica at every ``begin`` and releases its admission slot at commit or
+abort.  The statement API is identical, so workload bodies written against
+``ClientSession`` run unchanged.
+
+Because the functional stack cannot predict a transaction's writes before
+executing them, ``begin`` accepts an optional ``items`` hint — the
+``(table, key)`` identities the transaction intends to write — which is what
+a conflict-aware policy groups on.  Without a hint the policy degrades to
+its load-based tie-break, which is still correct (routing never affects
+safety, only the abort rate).
+
+See ``docs/scheduler.md`` for usage guidance and
+:meth:`repro.middleware.systems.ReplicatedSystem.routed_session` for the
+convenience constructor.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+from repro.balancer.policies import RoutingRequest
+from repro.balancer.scheduler import ClusterScheduler, RouteTicket
+from repro.errors import InvalidTransactionState, TransactionAborted
+from repro.middleware.client_api import ClientSession
+from repro.middleware.proxy import CommitOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.middleware.systems import ReplicatedSystem
+
+
+def _normalize_items(items: Iterable[tuple[str, object]] | None) -> frozenset:
+    if not items:
+        return frozenset()
+    return frozenset((table, key) for table, key in items)
+
+
+class RoutedSession:
+    """A client connection routed through the cluster scheduler.
+
+    Each transaction may run on a different replica; between transactions
+    the session holds no replica at all (and no admission slot).
+    """
+
+    def __init__(self, system: "ReplicatedSystem", scheduler: ClusterScheduler,
+                 *, client_name: str = "client") -> None:
+        self.system = system
+        self.scheduler = scheduler
+        self.client_name = client_name
+        self._inner: ClientSession | None = None
+        self._ticket: RouteTicket | None = None
+        #: Replica index of the last (or current) routed transaction.
+        self.last_replica_index: int | None = None
+        self.commits = 0
+        self.aborts = 0
+
+    # -- transaction control -----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._inner is not None
+
+    def begin(self, *, items: Iterable[tuple[str, object]] | None = None,
+              readonly: bool = False) -> int:
+        """Route and start a transaction; returns the chosen replica index.
+
+        ``items`` is the optional write-intent hint for conflict-aware
+        policies.  Raises :class:`~repro.errors.AdmissionTimeoutError` when
+        every replica is at its multiprogramming limit (the functional stack
+        cannot block on the admission queue) and
+        :class:`~repro.errors.NoHealthyReplicaError` when no replica is up.
+        """
+        if self._inner is not None:
+            raise InvalidTransactionState(
+                f"client {self.client_name!r} already has an open transaction"
+            )
+        request = RoutingRequest(
+            client=self.client_name,
+            readonly=readonly,
+            item_ids=_normalize_items(items),
+        )
+        ticket = self.scheduler.submit(request, queue=False)
+        assert ticket.replica_index is not None
+        replica = self.system.replicas[ticket.replica_index]
+        inner = ClientSession(replica.proxy, client_name=self.client_name)
+        inner.begin()
+        self._inner = inner
+        self._ticket = ticket
+        self.last_replica_index = ticket.replica_index
+        return ticket.replica_index
+
+    def commit(self) -> CommitOutcome:
+        inner = self._require_txn()
+        try:
+            outcome = inner.commit()
+        finally:
+            self._release()
+        if outcome.committed:
+            self.commits += 1
+        else:
+            self.aborts += 1
+        return outcome
+
+    def abort(self) -> None:
+        inner = self._require_txn()
+        try:
+            inner.abort()
+        finally:
+            self._release()
+        self.aborts += 1
+
+    def _release(self) -> None:
+        if self._ticket is not None:
+            self.scheduler.release(self._ticket)
+        self._inner = None
+        self._ticket = None
+
+    # -- statements -----------------------------------------------------------------
+
+    def read(self, table: str, key: object) -> Mapping[str, object] | None:
+        return self._require_txn().read(table, key)
+
+    def scan(self, table: str) -> list[tuple[object, Mapping[str, object]]]:
+        return self._require_txn().scan(table)
+
+    def insert(self, table: str, key: object, **values: object) -> None:
+        self._guarded(lambda s: s.insert(table, key, **values))
+
+    def update(self, table: str, key: object, **values: object) -> None:
+        self._guarded(lambda s: s.update(table, key, **values))
+
+    def delete(self, table: str, key: object) -> None:
+        self._guarded(lambda s: s.delete(table, key))
+
+    def _guarded(self, statement) -> None:
+        inner = self._require_txn()
+        try:
+            statement(inner)
+        except TransactionAborted:
+            # The inner session already dropped its transaction handle
+            # (conflict, deadlock victim, eager pre-certification); free the
+            # admission slot so the client can retry through a fresh route.
+            self._release()
+            self.aborts += 1
+            raise
+
+    # -- convenience ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, *, items: Iterable[tuple[str, object]] | None = None
+                    ) -> Iterator["RoutedSession"]:
+        """Context manager: route + begin, then commit on success."""
+        self.begin(items=items)
+        try:
+            yield self
+        except Exception:
+            if self._inner is not None:
+                self.abort()
+            raise
+        else:
+            if self._inner is not None:
+                self.commit()
+
+    def _require_txn(self) -> ClientSession:
+        if self._inner is None:
+            raise InvalidTransactionState(
+                f"client {self.client_name!r} has no open transaction"
+            )
+        return self._inner
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutedSession(client={self.client_name!r}, commits={self.commits}, "
+            f"aborts={self.aborts}, open={self.in_transaction}, "
+            f"last_replica={self.last_replica_index})"
+        )

@@ -10,7 +10,7 @@ same rows the paper plots and which EXPERIMENTS.md records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.config import SystemKind, WorkloadName
 from repro.cluster.experiment import ExperimentConfig, ExperimentResult, run_experiment
@@ -102,11 +102,18 @@ def run_replica_sweep(
     dedicated_io: bool = False,
     forced_abort_rate: float = 0.0,
     clients_per_replica: int | None = None,
+    routing: str | None = None,
+    workload_options: Mapping[str, object] | None = None,
     warmup_ms: float = 1_000.0,
     measure_ms: float = 4_000.0,
     seed: int = 20060418,
 ) -> ReplicaSweep:
-    """Run the replica-count sweep for ``workload`` across ``systems``."""
+    """Run the replica-count sweep for ``workload`` across ``systems``.
+
+    ``routing`` selects a cluster-scheduler policy (``None`` = the paper's
+    pinned clients), so a figure sweep can be re-run in routed mode and
+    compared point-for-point against the pinned curves.
+    """
     sweep = ReplicaSweep(workload=workload, dedicated_io=dedicated_io)
     for system in systems:
         for num_replicas in replica_counts:
@@ -117,6 +124,8 @@ def run_replica_sweep(
                 clients_per_replica=clients_per_replica,
                 dedicated_io=dedicated_io,
                 forced_abort_rate=forced_abort_rate,
+                routing=routing,
+                workload_options=workload_options,
                 warmup_ms=warmup_ms,
                 measure_ms=measure_ms,
                 seed=seed,

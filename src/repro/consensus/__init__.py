@@ -10,6 +10,8 @@ once a majority has acknowledged the write.  This package provides:
   leader, majority acknowledgement and catch-up;
 * :mod:`repro.consensus.group` — the replicated certifier group built on the
   replicated log, with crash and recovery of individual nodes.
+
+A supporting package of the layer map in ``docs/architecture.md``.
 """
 
 from repro.consensus.paxos import Acceptor, PaxosInstance, Proposer

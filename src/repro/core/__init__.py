@@ -3,7 +3,10 @@
 This package contains no timing, no IO and no engine dependencies.  It is the
 shared vocabulary between the functional replicated system
 (:mod:`repro.middleware`) and the simulated clusters used by the evaluation
-(:mod:`repro.cluster`).
+(:mod:`repro.cluster`): writesets and their intersection test, GSI version
+bookkeeping, the certifier with its indexed log and GC protocol, the
+group-commit batching engine, commit ordering and artificial-conflict
+planning.  See ``docs/architecture.md`` for where it sits in the layer map.
 """
 
 from repro.core.artificial_conflicts import ArtificialConflictDetector

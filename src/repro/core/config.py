@@ -8,6 +8,7 @@ average writeset sizes per benchmark, and so on.  See DESIGN.md Section 4.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 
@@ -142,6 +143,17 @@ class ReplicationConfig:
     local_certification: bool = True
     #: Enables eager pre-certification / deadlock avoidance (Section 8.2).
     eager_pre_certification: bool = True
+    #: Routing policy name for the cluster scheduler (``None`` keeps the
+    #: paper's static client pinning; see :mod:`repro.balancer`).
+    routing_policy: str | None = None
+    #: Per-replica admission limit enforced by the scheduler when routing is
+    #: enabled (``None`` = unlimited: routing without admission control).
+    multiprogramming_limit: int | None = None
+    #: Bounded admission wait queue depth (requests beyond it are shed).
+    admission_queue_depth: int = 64
+    #: How long a routed transaction waits for a multiprogramming slot
+    #: before giving up (recorded as an ``admission-timeout`` abort).
+    admission_timeout_ms: float = 200.0
     rng_seed: int = 20060418  # EuroSys 2006 conference date.
 
     def __post_init__(self) -> None:
@@ -155,6 +167,14 @@ class ReplicationConfig:
             raise ConfigurationError("forced_abort_rate must be in [0, 1)")
         if self.staleness_bound_ms <= 0:
             raise ConfigurationError("staleness_bound_ms must be positive")
+        if self.multiprogramming_limit is not None and self.multiprogramming_limit < 1:
+            raise ConfigurationError("multiprogramming_limit must be >= 1")
+        if self.admission_queue_depth < 0:
+            raise ConfigurationError("admission_queue_depth must be >= 0")
+        if self.admission_timeout_ms <= 0:
+            raise ConfigurationError("admission_timeout_ms must be positive")
+        if self.routing_policy is not None and self.system is SystemKind.STANDALONE:
+            raise ConfigurationError("a standalone system has nothing to route")
 
     @property
     def certifier_majority(self) -> int:
@@ -163,32 +183,8 @@ class ReplicationConfig:
 
     def with_system(self, system: SystemKind) -> "ReplicationConfig":
         """Return a copy of this configuration targeting ``system``."""
-        return ReplicationConfig(
-            system=system,
-            num_replicas=self.num_replicas,
-            num_certifiers=self.num_certifiers,
-            clients_per_replica=self.clients_per_replica,
-            disk=self.disk,
-            network=self.network,
-            staleness_bound_ms=self.staleness_bound_ms,
-            forced_abort_rate=self.forced_abort_rate,
-            local_certification=self.local_certification,
-            eager_pre_certification=self.eager_pre_certification,
-            rng_seed=self.rng_seed,
-        )
+        return dataclasses.replace(self, system=system)
 
     def with_replicas(self, num_replicas: int) -> "ReplicationConfig":
         """Return a copy of this configuration with ``num_replicas`` replicas."""
-        return ReplicationConfig(
-            system=self.system,
-            num_replicas=num_replicas,
-            num_certifiers=self.num_certifiers,
-            clients_per_replica=self.clients_per_replica,
-            disk=self.disk,
-            network=self.network,
-            staleness_bound_ms=self.staleness_bound_ms,
-            forced_abort_rate=self.forced_abort_rate,
-            local_certification=self.local_certification,
-            eager_pre_certification=self.eager_pre_certification,
-            rng_seed=self.rng_seed,
-        )
+        return dataclasses.replace(self, num_replicas=num_replicas)

@@ -6,7 +6,8 @@ first-updater-wins conflict handling, a write-ahead log with group commit, a
 switch to enable or disable synchronous commit writes, writeset-extraction
 hooks (the equivalent of the paper's triggers), an ordered-commit API
 (``COMMIT <version>``, the paper's 20-line PostgreSQL patch), checkpoint
-dumps and crash recovery.
+dumps and crash recovery.  See ``docs/architecture.md`` for the layer map
+and the group-apply batch path the transport layer drives.
 """
 
 from repro.engine.database import Database, IsolationError

@@ -6,6 +6,11 @@ transparent proxies, talking to a certifier service.  The three system
 variants of the paper — Base, Tashkent-MW and Tashkent-API — differ only in
 where durability lives and in whether the proxy can pass the global commit
 order to the database; everything else is shared.
+
+Clients attach either pinned (``ReplicatedSystem.session``, the paper's
+static assignment) or routed through the cluster scheduler
+(``ReplicatedSystem.routed_session``, see :mod:`repro.balancer` and
+``docs/scheduler.md``).  The layer map is in ``docs/architecture.md``.
 """
 
 from repro.middleware.certifier import CertifierService

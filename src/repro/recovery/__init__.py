@@ -11,6 +11,9 @@
   reproduces the numbers reported in Section 9.6 (dump 230 s, restore 140 s,
   2-4 s WAL recovery, 900 writesets/s replay, ~1 s log transfer per hour of
   downtime).
+
+``benchmarks/test_recovery_times.py`` drives the model (see
+``docs/benchmarks.md``); the layer map is in ``docs/architecture.md``.
 """
 
 from repro.recovery.replica_recovery import (

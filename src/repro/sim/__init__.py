@@ -10,7 +10,8 @@ detection) against simulated clocks, disks, CPUs and network links.
 The kernel is a small generator-based simulator in the style of SimPy:
 processes are generators that ``yield`` events (timeouts, resource requests,
 other processes); the environment advances virtual time from event to event.
-Everything is deterministic given the experiment's RNG seed.
+Everything is deterministic given the experiment's RNG seed.  See
+``docs/architecture.md`` for how the simulated stack sits on this kernel.
 """
 
 from repro.sim.kernel import AllOf, Environment, Event, Process, Timeout

@@ -1,0 +1,307 @@
+"""Unit tests for the cluster scheduler and its routing policies.
+
+Covers the edge cases the docs promise: routing with a single replica,
+every replica at its multiprogramming limit (queueing, promotion order and
+deadline expiry), the bounded queue shedding load, and a replica
+disconnecting mid-route with fall-back to a healthy one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.balancer import (
+    ClusterScheduler,
+    ConflictAwarePolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RoutingRequest,
+    StalenessAwarePolicy,
+    TicketState,
+    routing_policy_from_name,
+)
+from repro.balancer.policies import ReplicaView
+from repro.errors import (
+    AdmissionTimeoutError,
+    ConfigurationError,
+    NoHealthyReplicaError,
+    SchedulerSaturatedError,
+)
+
+
+def make_scheduler(num_replicas=3, policy="least-loaded", **kwargs):
+    scheduler = ClusterScheduler(routing_policy_from_name(policy), **kwargs)
+    for index in range(num_replicas):
+        scheduler.add_replica(f"replica-{index}")
+    return scheduler
+
+
+def views(*in_flight, applied=None, lag=None):
+    applied = applied or [0] * len(in_flight)
+    lag = lag or [0] * len(in_flight)
+    return [
+        ReplicaView(index=i, name=f"replica-{i}", in_flight=in_flight[i],
+                    applied_version=applied[i], lag=lag[i])
+        for i in range(len(in_flight))
+    ]
+
+
+# ---------------------------------------------------------------------- policies
+
+
+def test_round_robin_cycles_over_candidates():
+    policy = RoundRobinPolicy()
+    request = RoutingRequest()
+    firsts = [policy.rank(request, views(0, 0, 0))[0] for _ in range(6)]
+    assert firsts == [0, 1, 2, 0, 1, 2]
+
+
+def test_least_loaded_prefers_min_in_flight():
+    policy = LeastLoadedPolicy()
+    order = policy.rank(RoutingRequest(), views(3, 0, 1))
+    assert order == [1, 2, 0]
+
+
+def test_staleness_aware_prefers_freshest_applied_version():
+    policy = StalenessAwarePolicy()
+    order = policy.rank(RoutingRequest(), views(0, 0, 0, applied=[5, 9, 7]))
+    assert order == [1, 2, 0]
+    # Applied-version ties break on propagation lag.
+    order = policy.rank(RoutingRequest(), views(0, 0, applied=[5, 5], lag=[4, 1]))
+    assert order == [1, 0]
+
+
+def test_conflict_aware_groups_overlapping_writers():
+    policy = ConflictAwarePolicy()
+    first = RoutingRequest(client="a", item_ids=frozenset({("t", 1), ("t", 2)}))
+    # No affinity yet: degrades to least-loaded.
+    assert policy.rank(first, views(1, 0, 0))[0] == 1
+    policy.note_routed(first, 1)
+    # A writer overlapping {t:2} now prefers replica 1 despite its load.
+    overlap = RoutingRequest(client="b", item_ids=frozenset({("t", 2), ("t", 3)}))
+    assert policy.rank(overlap, views(0, 2, 0))[0] == 1
+    # Disjoint writers ignore the affinity and spread by load.
+    disjoint = RoutingRequest(client="c", item_ids=frozenset({("t", 99)}))
+    assert policy.rank(disjoint, views(0, 2, 0))[0] == 0
+
+
+def test_conflict_aware_load_slack_guards_against_herding():
+    policy = ConflictAwarePolicy(load_slack=2)
+    seed = RoutingRequest(client="a", item_ids=frozenset({("t", 1)}))
+    policy.note_routed(seed, 0)
+    hot = RoutingRequest(client="b", item_ids=frozenset({("t", 1)}))
+    # Affinity wins while replica 0 is within the slack...
+    assert policy.rank(hot, views(2, 0, 0))[0] == 0
+    # ...but forfeits once the imbalance exceeds it.
+    assert policy.rank(hot, views(5, 0, 0))[0] == 1
+
+
+def test_conflict_aware_affinity_map_is_bounded():
+    policy = ConflictAwarePolicy(max_tracked_items=4)
+    for key in range(10):
+        policy.note_routed(
+            RoutingRequest(item_ids=frozenset({("t", key)})), key % 3
+        )
+    assert policy.tracked_items <= 4
+
+
+def test_policy_factory_rejects_unknown_names():
+    with pytest.raises(ConfigurationError):
+        routing_policy_from_name("coin-flip")
+
+
+# ------------------------------------------------------------------- single replica
+
+
+@pytest.mark.parametrize("policy", ["round-robin", "least-loaded",
+                                    "staleness-aware", "conflict-aware"])
+def test_single_replica_routes_everything_to_it(policy):
+    scheduler = make_scheduler(num_replicas=1, policy=policy)
+    for i in range(5):
+        ticket = scheduler.submit(RoutingRequest(client=f"c{i}"))
+        assert ticket.admitted and ticket.replica_index == 0
+    assert scheduler.endpoints[0].in_flight == 5
+
+
+def test_single_replica_at_limit_queues_and_times_out():
+    scheduler = make_scheduler(num_replicas=1, multiprogramming_limit=1,
+                               queue_timeout_ms=10.0)
+    first = scheduler.submit(RoutingRequest(client="a"), now=0.0)
+    assert first.admitted
+    waiter = scheduler.submit(RoutingRequest(client="b"), now=1.0)
+    assert waiter.state is TicketState.QUEUED
+    expired = scheduler.expire_waiters(now=20.0)
+    assert expired == [waiter] and waiter.state is TicketState.TIMED_OUT
+    assert scheduler.stats.admission_timeouts == 1
+
+
+# ---------------------------------------------------------------- admission control
+
+
+def test_all_replicas_at_limit_queue_then_promote_fifo():
+    scheduler = make_scheduler(num_replicas=2, multiprogramming_limit=1)
+    running = [scheduler.submit(RoutingRequest(client=f"r{i}")) for i in range(2)]
+    waiters = [scheduler.submit(RoutingRequest(client=f"w{i}"), now=float(i))
+               for i in range(3)]
+    assert all(t.state is TicketState.QUEUED for t in waiters)
+    assert scheduler.queue_depth == 3
+
+    admitted_callbacks = []
+    waiters[0].on_admit = admitted_callbacks.append
+
+    promoted = scheduler.release(running[0], now=5.0)
+    assert promoted == [waiters[0]]
+    assert waiters[0].admitted and waiters[0].replica_index == running[0].replica_index
+    assert waiters[0].queue_wait_ms == 5.0
+    assert admitted_callbacks == [waiters[0]]
+    # The later waiters stay queued until more capacity frees.
+    assert waiters[1].state is TicketState.QUEUED and scheduler.queue_depth == 2
+
+
+def test_bounded_queue_sheds_load():
+    scheduler = make_scheduler(num_replicas=1, multiprogramming_limit=1,
+                               max_queue_depth=1)
+    scheduler.submit(RoutingRequest(client="runs"))
+    scheduler.submit(RoutingRequest(client="waits"))
+    with pytest.raises(SchedulerSaturatedError):
+        scheduler.submit(RoutingRequest(client="shed"))
+    assert scheduler.stats.saturation_rejections == 1
+
+
+def test_release_expires_stale_waiters_before_promoting():
+    scheduler = make_scheduler(num_replicas=1, multiprogramming_limit=1,
+                               queue_timeout_ms=10.0)
+    running = scheduler.submit(RoutingRequest(client="runs"), now=0.0)
+    stale = scheduler.submit(RoutingRequest(client="stale"), now=0.0)
+    fresh = scheduler.submit(RoutingRequest(client="fresh"), now=8.0)
+    promoted = scheduler.release(running, now=15.0)
+    assert stale.state is TicketState.TIMED_OUT
+    assert promoted == [fresh] and fresh.admitted
+
+
+def test_queue_false_raises_instead_of_queueing():
+    scheduler = make_scheduler(num_replicas=1, multiprogramming_limit=1)
+    scheduler.submit(RoutingRequest(client="runs"))
+    with pytest.raises(AdmissionTimeoutError):
+        scheduler.submit(RoutingRequest(client="impatient"), queue=False)
+
+
+def test_promotion_at_exactly_the_deadline_wins():
+    scheduler = make_scheduler(num_replicas=1, multiprogramming_limit=1,
+                               queue_timeout_ms=10.0)
+    running = scheduler.submit(RoutingRequest(client="runs"), now=0.0)
+    waiter = scheduler.submit(RoutingRequest(client="waits"), now=0.0)
+    # The slot frees at the waiter's deadline: promote, don't expire.
+    promoted = scheduler.release(running, now=10.0)
+    assert promoted == [waiter] and waiter.admitted
+    assert scheduler.stats.admission_timeouts == 0
+
+
+def test_give_up_buckets_timeouts_apart_from_cancellations():
+    scheduler = make_scheduler(num_replicas=1, multiprogramming_limit=1,
+                               queue_timeout_ms=10.0)
+    scheduler.submit(RoutingRequest(client="runs"), now=0.0)
+    early = scheduler.submit(RoutingRequest(client="early"), now=0.0)
+    late = scheduler.submit(RoutingRequest(client="late"), now=0.0)
+    scheduler.give_up(early, now=3.0)     # withdrew before the deadline
+    scheduler.give_up(late, now=10.0)     # deadline reached while waiting
+    assert early.state is TicketState.CANCELLED
+    assert late.state is TicketState.TIMED_OUT
+    assert scheduler.stats.cancelled == 1
+    assert scheduler.stats.admission_timeouts == 1
+
+
+def test_cancel_withdraws_a_queued_ticket():
+    scheduler = make_scheduler(num_replicas=1, multiprogramming_limit=1)
+    running = scheduler.submit(RoutingRequest(client="runs"))
+    waiter = scheduler.submit(RoutingRequest(client="waits"))
+    scheduler.cancel(waiter)
+    assert waiter.state is TicketState.CANCELLED and scheduler.queue_depth == 0
+    # A cancelled ticket is never promoted.
+    assert scheduler.release(running) == []
+
+
+def test_release_is_idempotent_and_ignores_unadmitted_tickets():
+    scheduler = make_scheduler(num_replicas=1)
+    ticket = scheduler.submit(RoutingRequest(client="a"))
+    scheduler.release(ticket)
+    scheduler.release(ticket)
+    assert scheduler.endpoints[0].in_flight == 0
+
+
+# ------------------------------------------------------------------ health / failover
+
+
+def test_unhealthy_replicas_are_skipped():
+    scheduler = make_scheduler(num_replicas=3, policy="round-robin")
+    scheduler.mark_down(0)
+    targets = {scheduler.submit(RoutingRequest()).replica_index for _ in range(6)}
+    assert targets == {1, 2}
+
+
+def test_all_replicas_down_raises():
+    scheduler = make_scheduler(num_replicas=2)
+    scheduler.mark_down(0)
+    scheduler.mark_down(1)
+    with pytest.raises(NoHealthyReplicaError):
+        scheduler.submit(RoutingRequest())
+
+
+def test_disconnect_mid_route_fails_over_to_a_healthy_replica():
+    scheduler = make_scheduler(num_replicas=2, policy="conflict-aware")
+    request = RoutingRequest(client="a", item_ids=frozenset({("t", 1)}))
+    ticket = scheduler.submit(request)
+    dead = ticket.replica_index
+    scheduler.mark_down(dead)
+    scheduler.fail_over(ticket)
+    assert ticket.admitted and ticket.replica_index != dead
+    # The dead replica's slot was freed; only the new replica holds one.
+    assert scheduler.endpoints[dead].in_flight == 0
+    assert scheduler.endpoints[ticket.replica_index].in_flight == 1
+    assert scheduler.stats.failovers == 1
+
+
+def test_mark_down_drops_conflict_affinities_for_that_replica():
+    policy = ConflictAwarePolicy()
+    scheduler = ClusterScheduler(policy)
+    for index in range(2):
+        scheduler.add_replica(f"replica-{index}")
+    request = RoutingRequest(client="a", item_ids=frozenset({("t", 1)}))
+    ticket = scheduler.submit(request)
+    assert policy.tracked_items == 1
+    scheduler.mark_down(ticket.replica_index)
+    assert policy.tracked_items == 0
+
+
+def test_mark_up_promotes_queued_waiters():
+    scheduler = make_scheduler(num_replicas=2, multiprogramming_limit=1)
+    scheduler.mark_down(1)
+    scheduler.submit(RoutingRequest(client="runs"))
+    waiter = scheduler.submit(RoutingRequest(client="waits"))
+    promoted = scheduler.mark_up(1)
+    assert promoted == [waiter]
+    assert waiter.admitted and waiter.replica_index == 1
+
+
+# ---------------------------------------------------------------------- diagnostics
+
+
+def test_snapshot_reports_live_signals_and_stats():
+    scheduler = ClusterScheduler(routing_policy_from_name("staleness-aware"))
+    scheduler.add_replica("replica-0", applied_version=lambda: 42, lag=lambda: 3)
+    scheduler.submit(RoutingRequest())
+    snapshot = scheduler.snapshot()
+    assert snapshot["policy"] == "staleness-aware"
+    replica = snapshot["replicas"][0]
+    assert replica["applied_version"] == 42 and replica["lag"] == 3
+    assert replica["in_flight"] == 1
+    assert snapshot["stats"]["admitted_immediately"] == 1
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterScheduler(LeastLoadedPolicy(), multiprogramming_limit=0)
+    with pytest.raises(ConfigurationError):
+        ClusterScheduler(LeastLoadedPolicy(), queue_timeout_ms=0.0)
+    with pytest.raises(ConfigurationError):
+        ConflictAwarePolicy(max_tracked_items=0)

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Documentation checks: internal links resolve, runnable examples run.
+
+Two passes over ``README.md`` and ``docs/*.md`` (standard library only, so
+the CI docs job needs no installs):
+
+1. **Link check** — every markdown link ``[text](target)`` with a relative
+   target must point at an existing file or directory; fragments
+   (``file.md#section`` or ``#section``) must match a heading's GitHub-style
+   anchor in the target file.  External schemes (http/https/mailto) are
+   skipped — CI should not fail on someone else's outage.
+2. **Doctest check** — fenced code blocks whose info string is
+   ``python doctest`` are executed with the standard :mod:`doctest` runner
+   (with ``src`` on ``sys.path``).  Mark an example runnable only when its
+   output is deterministic.
+
+Exit status is non-zero on any failure, with one line per finding.
+
+Run as:  PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+#: ``[text](target)`` — target captured up to the closing parenthesis.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^```(.*)$")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens (backticks and markdown emphasis stripped first)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_fenced_blocks(text: str) -> str:
+    """Remove fenced code blocks so links/headings inside them are ignored."""
+    out_lines, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out_lines.append(line)
+    return "\n".join(out_lines)
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors = set()
+    for line in strip_fenced_blocks(path.read_text()).splitlines():
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_anchor(match.group(1)))
+    return anchors
+
+
+def check_links(files: list[Path]) -> list[str]:
+    errors = []
+    anchor_cache: dict[Path, set[str]] = {}
+    for md_file in files:
+        prose = strip_fenced_blocks(md_file.read_text())
+        for target in LINK_RE.findall(prose):
+            if target.startswith(EXTERNAL_SCHEMES):
+                continue
+            rel = md_file.relative_to(REPO_ROOT)
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (md_file.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                resolved = md_file
+            if fragment:
+                if resolved.suffix != ".md" or resolved.is_dir():
+                    continue  # anchors only checked inside markdown
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = anchors_of(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    errors.append(f"{rel}: broken anchor -> {target}")
+    return errors
+
+
+def runnable_blocks(path: Path) -> list[tuple[int, str]]:
+    """``(first_line_number, source)`` of every ``python doctest`` fence."""
+    blocks, current, start_line = [], None, 0
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        fence = FENCE_RE.match(line.strip())
+        if fence and current is None:
+            info = fence.group(1).strip().lower()
+            if info.startswith("python") and "doctest" in info:
+                current, start_line = [], number + 1
+        elif fence and current is not None:
+            blocks.append((start_line, "\n".join(current) + "\n"))
+            current = None
+        elif current is not None:
+            current.append(line)
+    return blocks
+
+
+def check_doctests(files: list[Path]) -> tuple[list[str], int]:
+    errors, total = [], 0
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS)
+    for md_file in files:
+        rel = md_file.relative_to(REPO_ROOT)
+        for line_number, source in runnable_blocks(md_file):
+            total += 1
+            name = f"{rel}:{line_number}"
+            try:
+                test = parser.get_doctest(source, {}, name, str(rel), line_number)
+            except ValueError as exc:
+                errors.append(f"{name}: unparseable doctest block ({exc})")
+                continue
+            result = runner.run(test, clear_globs=True)
+            if result.failed:
+                errors.append(
+                    f"{name}: {result.failed}/{result.attempted} example(s) failed"
+                )
+    return errors, total
+
+
+def main() -> int:
+    files = doc_files()
+    if not files:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 1
+    link_errors = check_links(files)
+    doctest_errors, doctests_run = check_doctests(files)
+    for error in link_errors + doctest_errors:
+        print(f"FAIL {error}")
+    if link_errors or doctest_errors:
+        print(f"check_docs: {len(link_errors)} link / {len(doctest_errors)} "
+              f"doctest failure(s) across {len(files)} file(s)")
+        return 1
+    print(f"check_docs: OK — {len(files)} file(s), links resolve, "
+          f"{doctests_run} runnable block(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
