@@ -68,6 +68,24 @@ SCHED_REPLICAS = tuple(
 )
 SCHED_UPDATE_BURST = int(os.environ.get("REPRO_BENCH_SCHED_BURST", "3"))
 
+#: Certifier-sharding benchmark axes (test_certifier_sharding.py): shard
+#: counts, cross-shard writeset ratios, closed-loop client count, the
+#: bounded fsync group (records per certifier log flush — the knob that
+#: makes a single log device saturable) and the simulated windows.  These
+#: are deliberately independent of the global MEASURE_MS so the emitted
+#: JSON is identical between CI and a local run (the bench-regression job
+#: compares it against the committed file).
+SHARD_COUNTS = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_SHARDS", "1,2,4").split(",")
+)
+SHARD_CROSS_RATIOS = tuple(
+    float(x) for x in os.environ.get("REPRO_BENCH_SHARD_CROSS", "0,0.1,0.5").split(",")
+)
+SHARD_CLIENTS = int(os.environ.get("REPRO_BENCH_SHARD_CLIENTS", "48"))
+SHARD_FLUSH_CAP = int(os.environ.get("REPRO_BENCH_SHARD_FLUSH_CAP", "8"))
+SHARD_WARMUP_MS = float(os.environ.get("REPRO_BENCH_SHARD_WARMUP_MS", "300"))
+SHARD_MEASURE_MS = float(os.environ.get("REPRO_BENCH_SHARD_MEASURE_MS", "1500"))
+
 #: The four curves of the throughput/response figures.
 FIGURE_SYSTEMS = (
     SystemKind.BASE,

@@ -49,6 +49,12 @@ class ExperimentConfig:
     #: Deadline for a routed transaction waiting in the admission queue; a
     #: miss is recorded as an ``admission-timeout`` abort.
     admission_timeout_ms: float = 200.0
+    #: Number of certification shards at the certifier (1 = the paper's
+    #: single certifier; see ``docs/certifier.md``).
+    certifier_shards: int = 1
+    #: Bound on log records per certifier fsync (``None`` = unbounded, the
+    #: seed behaviour; see :class:`~repro.core.config.ReplicationConfig`).
+    certifier_max_flush_batch: int | None = None
     #: Extra workload constructor options (scenario axes such as
     #: AllUpdates' ``update_burst``); forwarded to ``workload_by_name``.
     workload_options: Mapping[str, object] | None = None
@@ -78,6 +84,8 @@ class ExperimentConfig:
             routing_policy=self.routing,
             multiprogramming_limit=self.multiprogramming_limit,
             admission_timeout_ms=self.admission_timeout_ms,
+            certifier_shards=self.certifier_shards,
+            certifier_max_flush_batch=self.certifier_max_flush_batch,
             rng_seed=self.seed,
         )
 
@@ -130,6 +138,7 @@ class ExperimentResult:
             "replicas": self.config.num_replicas,
             "dedicated_io": self.config.dedicated_io,
             "routing": self.config.routing or "pinned",
+            "certifier_shards": self.config.certifier_shards,
             "throughput_tps": round(self.throughput_tps, 1),
             "mean_response_ms": round(self.mean_response_ms, 1),
             "p95_response_ms": round(self.p95_response_ms, 1),

@@ -21,7 +21,11 @@ from repro.sim.metrics import MetricsCollector
 from repro.sim.rng import RandomStreams
 from repro.workloads.spec import TransactionProfile, WorkloadSpec
 from repro.cluster.client import client_process, routed_client_process
-from repro.cluster.nodes import SimCertifierNode, SimReplicaNode
+from repro.cluster.nodes import (
+    SimCertifierNode,
+    SimReplicaNode,
+    SimShardedCertifierNode,
+)
 
 
 class SystemModel(abc.ABC):
@@ -73,9 +77,16 @@ class SystemModel(abc.ABC):
 
     # -- construction ------------------------------------------------------------
 
-    def _build_certifier(self) -> SimCertifierNode | None:
+    def _build_certifier(self) -> "SimCertifierNode | SimShardedCertifierNode | None":
         if self.config.system is SystemKind.STANDALONE:
             return None
+        if self.config.certifier_shards > 1:
+            return SimShardedCertifierNode(
+                self.env,
+                self.config,
+                self.rng,
+                durability_enabled=self.config.system.durability_in_certifier,
+            )
         return SimCertifierNode(
             self.env,
             self.config,

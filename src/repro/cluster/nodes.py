@@ -19,6 +19,7 @@ from repro.core.certification import (
 )
 from repro.core.config import ReplicationConfig
 from repro.core.group_commit import GroupCommitStats
+from repro.core.sharding import ShardedCertifier
 from repro.sim.devices import CpuServer, DiskChannel, NetworkLink
 from repro.sim.kernel import Environment, Event
 from repro.sim.resources import Resource, Store
@@ -26,6 +27,7 @@ from repro.sim.rng import RandomStreams
 from repro.transport import (
     ExplicitFlushPolicy,
     FlushPolicy,
+    MergedSubscription,
     Message,
     MessageBus,
     WritesetStream,
@@ -70,6 +72,11 @@ class SimCertifierNode:
         self.config = config
         self.name = name
         self.durability_enabled = durability_enabled
+        #: Bound on records per fsync (None = everything pending, the seed
+        #: behaviour).  A bounded log buffer caps a single log device at
+        #: ``bound / fsync_time`` certifications per second — the saturation
+        #: regime the sharded certifier splits across per-shard disks.
+        self.max_flush_batch = config.certifier_max_flush_batch
         self.cpu = CpuServer(env, name=f"{name}-cpu")
         # The certifier's log disk is its own device; it never competes with
         # database page IO, so no interference term.
@@ -202,27 +209,36 @@ class SimCertifierNode:
     def _log_writer(self) -> Generator:
         while True:
             first = yield self._flush_queue.get()
-            batch = [first] + self._flush_queue.get_all()
-            yield from self.disk.fsync()
-            self.batch_stats.record_flush(len(batch))
-            max_version = max(batch)
-            if max_version > self.certifier.log.durable_version:
-                self.certifier.log.mark_durable(max_version)
-            # Durability announcement over the bus: wakes every certification
-            # fragment blocked on this flush and feeds the writeset stream —
-            # with the explicit policy the propagation batch each replica
-            # receives is exactly this fsync group.
-            self.stream.propagate_from_log(
-                self.certifier.log, batch,
-                now=self.env.now, aligned=self._fsync_aligned_propagation,
-            )
-            self.bus.publish(DURABILITY_TOPIC, tuple(sorted(batch)))
-            # Off the critical path: bound the log by pruning the durable
-            # prefix below the replicas' low-water mark every few flushes.
-            self._flushes_since_gc += 1
-            if self.gc_interval_flushes and self._flushes_since_gc >= self.gc_interval_flushes:
-                self._flushes_since_gc = 0
-                self.certifier.collect_garbage(headroom=self.gc_headroom_versions)
+            pending = [first] + self._flush_queue.get_all()
+            # With an unbounded buffer this is exactly one chunk — the seed
+            # path; a bounded buffer turns a backlog into back-to-back
+            # fsyncs, which is what makes the device saturable.
+            while pending:
+                if self.max_flush_batch is None:
+                    batch, pending = pending, []
+                else:
+                    batch = pending[:self.max_flush_batch]
+                    pending = pending[self.max_flush_batch:]
+                yield from self.disk.fsync()
+                self.batch_stats.record_flush(len(batch))
+                max_version = max(batch)
+                if max_version > self.certifier.log.durable_version:
+                    self.certifier.log.mark_durable(max_version)
+                # Durability announcement over the bus: wakes every
+                # certification fragment blocked on this flush and feeds the
+                # writeset stream — with the explicit policy the propagation
+                # batch each replica receives is exactly this fsync group.
+                self.stream.propagate_from_log(
+                    self.certifier.log, batch,
+                    now=self.env.now, aligned=self._fsync_aligned_propagation,
+                )
+                self.bus.publish(DURABILITY_TOPIC, tuple(sorted(batch)))
+                # Off the critical path: bound the log by pruning the durable
+                # prefix below the replicas' low-water mark every few flushes.
+                self._flushes_since_gc += 1
+                if self.gc_interval_flushes and self._flushes_since_gc >= self.gc_interval_flushes:
+                    self._flushes_since_gc = 0
+                    self.certifier.collect_garbage(headroom=self.gc_headroom_versions)
 
     def _on_durability_announcement(self, message: Message) -> None:
         for version in message.payload:  # type: ignore[union-attr]
@@ -251,6 +267,277 @@ class SimCertifierNode:
                 "certifier_propagation_batches": float(self.stream.stats.flushes),
                 "certifier_writesets_per_propagation_batch":
                     self.stream.stats.average_batch_size,
+            }
+        )
+        return stats
+
+
+class SimShardedCertifierNode:
+    """A sharded certifier deployment: N independent certify/flush pipelines.
+
+    Each shard is modeled as its own process with its own CPU lane and its
+    own log disk (a sharded certifier in production is N processes, possibly
+    N machines), so fsync parallelism is genuinely modeled: shard A's group
+    flush proceeds while shard B's disk is busy.  A small coordinator CPU
+    serves request admission, read-only requests and subscription drains.
+
+    The protocol surface mirrors :class:`SimCertifierNode` — ``certify`` /
+    ``propagate`` fragments, ``register_replica``, ``subscription``,
+    ``stats`` — so the system models drive either node unchanged.  The pure
+    decision logic is :class:`~repro.core.sharding.ShardedCertifier`; a
+    committed cross-shard transaction's decision is released only once its
+    fragment is durable on every touched shard, and full writesets are
+    offered to their home shard's stream in global-frontier order, merged at
+    each replica by a :class:`~repro.transport.MergedSubscription`.
+    """
+
+    certify_cpu_ms = SimCertifierNode.certify_cpu_ms
+    gc_interval_flushes = SimCertifierNode.gc_interval_flushes
+    gc_headroom_versions = SimCertifierNode.gc_headroom_versions
+
+    def __init__(
+        self,
+        env: Environment,
+        config: ReplicationConfig,
+        rng: RandomStreams,
+        *,
+        durability_enabled: bool,
+        name: str = "certifier",
+        propagation_policy: FlushPolicy | None = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        self.durability_enabled = durability_enabled
+        self.max_flush_batch = config.certifier_max_flush_batch
+        shards = config.certifier_shards
+        self.core = ShardedCertifier(
+            shards,
+            forced_abort_rate=config.forced_abort_rate,
+            abort_chooser=rng.stream("forced-abort").random,
+        )
+        #: Coordinator CPU: admission, read-only requests, drain serving.
+        self.cpu = CpuServer(env, name=f"{name}-cpu")
+        self.network = NetworkLink(env, config.network, rng, name=f"{name}-lan")
+        self.shard_cpus = [
+            CpuServer(env, name=f"{name}-shard{i}-cpu") for i in range(shards)
+        ]
+        self.shard_disks = [
+            DiskChannel(env, config.disk, rng, name=f"{name}-shard{i}-disk")
+            for i in range(shards)
+        ]
+        self._flush_queues = [
+            Store(env, name=f"{name}-shard{i}-flush-queue") for i in range(shards)
+        ]
+        self.batch_stats = GroupCommitStats()
+        self._flushes_since_gc = 0
+        self.bus = MessageBus(name=f"{name}-bus")
+        self._fsync_aligned_propagation = propagation_policy is None
+        #: Per-shard propagation streams on one bus, one topic per shard.
+        self.streams = [
+            WritesetStream(
+                policy=propagation_policy if propagation_policy is not None
+                else ExplicitFlushPolicy(),
+                bus=self.bus,
+                topic=f"writesets-shard{i}",
+            )
+            for i in range(shards)
+        ]
+        self._subscriptions: dict[str, MergedSubscription] = {}
+        #: Global version -> [event, remaining-shard-count]: a committed
+        #: transaction's decision is released once every touched shard has
+        #: flushed its fragment.
+        self._durability_waiters: dict[int, list] = {}
+        for shard_id in range(shards):
+            env.process(self._shard_log_writer(shard_id),
+                        name=f"{name}-shard{shard_id}-log-writer")
+
+    @property
+    def certifier(self) -> ShardedCertifier:
+        """The decision core (the models' watermark/GC access point)."""
+        return self.core
+
+    def register_replica(self, replica_name: str, version: int = 0) -> None:
+        """Enrol a replica: GC protocol plus one subscription per shard,
+        merged behind a single version-ordered view."""
+        if replica_name in self._subscriptions:
+            self.core.note_replica_version(replica_name, version)
+            return
+        self.core.note_replica_version(replica_name, version)
+        backfill = self.core.fetch_remote_writesets(version, replica=replica_name)
+        parts = [
+            stream.subscribe(replica_name, from_version=version)
+            for stream in self.streams
+        ]
+        self._subscriptions[replica_name] = MergedSubscription(
+            parts, from_version=version, name=replica_name, backfill=backfill
+        )
+
+    def subscription(self, replica_name: str) -> MergedSubscription:
+        return self._subscriptions[replica_name]
+
+    # -- protocol fragments ------------------------------------------------------
+
+    def certify(self, request: CertificationRequest) -> Generator:
+        """Process fragment: full certification round trip, sharded.
+
+        Single-shard requests pay one shard's CPU and (when durability is
+        on) one shard's flush — the seed pipeline, just placed on that
+        shard's devices.  Cross-shard requests pay certification CPU on
+        every touched shard and wait for the slowest touched shard's flush:
+        the merge cost the benchmark quantifies.
+        """
+        yield self.network.transfer(request.request_size_bytes())
+        fragments = self.core.partitioner.split(request.writeset)
+        if not fragments:
+            yield from self.cpu.execute(self.certify_cpu_ms)
+        else:
+            for shard_id in sorted(fragments):
+                yield from self.shard_cpus[shard_id].execute(self.certify_cpu_ms)
+        # The split above is handed through so the hot path hashes each
+        # item exactly once.
+        result = self.core.certify(request, fragments=fragments)
+        if result.committed and result.tx_commit_version is not None:
+            version = result.tx_commit_version
+            record = self.core.record_at(version)
+            for shard_id, local in record.shard_locals:
+                self._flush_queues[shard_id].put((version, local))
+            if self.durability_enabled:
+                durable: Event = self.env.event()
+                self._durability_waiters[version] = [durable, len(record.shard_locals)]
+                yield durable
+            else:
+                # tashAPInoCERT: decision released without waiting for the
+                # (lazily flushed) log writes, so propagate immediately.
+                self._propagate_up_to(self.core.last_version)
+        yield self.network.transfer(result.response_size_bytes())
+        return result
+
+    def propagate(self, replica_name: str, *,
+                  applied_version: int | None = None,
+                  extend_horizons: bool = False,
+                  watermark: Callable[[], int] | None = None) -> Generator:
+        """Process fragment: deliver the merged pending batches to a replica.
+
+        Identical contract to :meth:`SimCertifierNode.propagate`; the drained
+        batch is already interleaved by global version, so it crosses the
+        LAN as one message per merged release.
+        """
+        subscription = self._subscriptions[replica_name]
+        for stream in self.streams:
+            stream.flush(now=self.env.now)
+        if applied_version is not None:
+            subscription.advance_to(applied_version)
+        yield self.network.transfer(16)
+        yield from self.cpu.execute(self.certify_cpu_ms)
+        if watermark is not None:
+            subscription.advance_to(watermark())
+        batches = subscription.poll()
+        remote: list[RemoteWriteSetInfo] = []
+        for batch in batches:
+            size = 32 + sum(info.size_bytes() for info in batch)
+            yield self.network.transfer(size)
+            remote.extend(batch)
+        if not batches:
+            yield self.network.transfer(16)
+        elif extend_horizons and applied_version is not None:
+            remote = self.core.extend_remote_horizons(remote, applied_version)
+        return remote
+
+    # -- per-shard log writers -----------------------------------------------------
+
+    def _shard_log_writer(self, shard_id: int) -> Generator:
+        shard = self.core.shards[shard_id]
+        queue = self._flush_queues[shard_id]
+        disk = self.shard_disks[shard_id]
+        while True:
+            first = yield queue.get()
+            pending = [first] + queue.get_all()
+            while pending:
+                if self.max_flush_batch is None:
+                    batch, pending = pending, []
+                else:
+                    batch = pending[:self.max_flush_batch]
+                    pending = pending[self.max_flush_batch:]
+                yield from disk.fsync()
+                self.batch_stats.record_flush(len(batch))
+                top_local = max(local for _, local in batch)
+                if top_local > shard.log.durable_version:
+                    shard.log.mark_durable(top_local)
+                for version, _local in batch:
+                    waiter = self._durability_waiters.get(version)
+                    if waiter is not None:
+                        waiter[1] -= 1
+                        if waiter[1] == 0:
+                            del self._durability_waiters[version]
+                            waiter[0].succeed(version)
+                self._propagate_up_to()
+                self.bus.publish(DURABILITY_TOPIC, tuple(v for v, _ in batch))
+                self._flushes_since_gc += 1
+                if (self.gc_interval_flushes
+                        and self._flushes_since_gc >= self.gc_interval_flushes):
+                    self._flushes_since_gc = 0
+                    self.core.collect_garbage(headroom=self.gc_headroom_versions)
+
+    def _propagate_up_to(self, version: int | None = None) -> None:
+        """Offer committed records up to ``version`` to their home streams,
+        in strict global order (the producer half of the merged view).
+
+        The frontier-ordered walk lives in
+        :meth:`ShardedCertifier.take_propagatable` (shared with the
+        functional service); ``None`` means "whatever is fully durable", so
+        a flush that completes the last outstanding fragment propagates its
+        own records.
+        """
+        touched: set[int] = set()
+        for record in self.core.take_propagatable(version):
+            self.streams[record.home_shard].offer(
+                RemoteWriteSetInfo(
+                    commit_version=record.commit_version,
+                    writeset=record.writeset,
+                    origin_replica=record.origin_replica,
+                    conflict_free_back_to=self.core.certified_back_to(
+                        record.commit_version),
+                ),
+                now=self.env.now,
+            )
+            touched.add(record.home_shard)
+        for shard_id in touched:
+            if self._fsync_aligned_propagation:
+                self.streams[shard_id].flush(now=self.env.now)
+            else:
+                self.streams[shard_id].flush_due(now=self.env.now)
+
+    # -- statistics -----------------------------------------------------------------------
+
+    @property
+    def writesets_per_fsync(self) -> float:
+        return self.batch_stats.average_batch_size
+
+    @property
+    def fsync_count(self) -> int:
+        return sum(disk.fsync_count for disk in self.shard_disks)
+
+    def stats(self) -> dict[str, float]:
+        stats = {f"certifier_{k}": v for k, v in self.core.stats().items()}
+        disk_utils = [disk.utilization() for disk in self.shard_disks]
+        cpu_utils = [cpu.utilization() for cpu in self.shard_cpus]
+        propagation = GroupCommitStats()
+        for stream in self.streams:
+            propagation.merge(stream.stats)
+        stats.update(
+            {
+                "certifier_fsyncs": float(self.fsync_count),
+                "certifier_writesets_per_fsync": self.writesets_per_fsync,
+                "certifier_disk_utilization": max(disk_utils, default=0.0),
+                "certifier_cpu_utilization": max(cpu_utils + [self.cpu.utilization()]),
+                "certifier_mean_shard_disk_utilization": (
+                    sum(disk_utils) / len(disk_utils) if disk_utils else 0.0
+                ),
+                "certifier_propagation_batches": float(propagation.flushes),
+                "certifier_writesets_per_propagation_batch":
+                    propagation.average_batch_size,
+                "certifier_shards": float(self.config.certifier_shards),
             }
         )
         return stats

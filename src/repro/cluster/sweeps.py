@@ -103,6 +103,8 @@ def run_replica_sweep(
     forced_abort_rate: float = 0.0,
     clients_per_replica: int | None = None,
     routing: str | None = None,
+    certifier_shards: int = 1,
+    certifier_max_flush_batch: int | None = None,
     workload_options: Mapping[str, object] | None = None,
     warmup_ms: float = 1_000.0,
     measure_ms: float = 4_000.0,
@@ -112,7 +114,10 @@ def run_replica_sweep(
 
     ``routing`` selects a cluster-scheduler policy (``None`` = the paper's
     pinned clients), so a figure sweep can be re-run in routed mode and
-    compared point-for-point against the pinned curves.
+    compared point-for-point against the pinned curves.  ``certifier_shards``
+    re-runs the same sweep against a sharded certifier (with
+    ``certifier_max_flush_batch`` bounding each shard's fsync group), so the
+    figures can be regenerated with the certifier scaled out.
     """
     sweep = ReplicaSweep(workload=workload, dedicated_io=dedicated_io)
     for system in systems:
@@ -125,6 +130,8 @@ def run_replica_sweep(
                 dedicated_io=dedicated_io,
                 forced_abort_rate=forced_abort_rate,
                 routing=routing,
+                certifier_shards=certifier_shards,
+                certifier_max_flush_batch=certifier_max_flush_batch,
                 workload_options=workload_options,
                 warmup_ms=warmup_ms,
                 measure_ms=measure_ms,

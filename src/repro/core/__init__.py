@@ -5,8 +5,10 @@ shared vocabulary between the functional replicated system
 (:mod:`repro.middleware`) and the simulated clusters used by the evaluation
 (:mod:`repro.cluster`): writesets and their intersection test, GSI version
 bookkeeping, the certifier with its indexed log and GC protocol, the
-group-commit batching engine, commit ordering and artificial-conflict
-planning.  See ``docs/architecture.md`` for where it sits in the layer map.
+sharded certifier with its stable partitioner and deterministic cross-shard
+merge (``docs/certifier.md``), the group-commit batching engine, typed
+statistics snapshots, commit ordering and artificial-conflict planning.
+See ``docs/architecture.md`` for where it sits in the layer map.
 """
 
 from repro.core.artificial_conflicts import ArtificialConflictDetector
@@ -21,6 +23,8 @@ from repro.core.config import (
 )
 from repro.core.group_commit import GroupCommitBatcher, GroupCommitStats
 from repro.core.ordering import CommitSequencer
+from repro.core.sharding import HashPartitioner, Partitioner, ShardedCertifier
+from repro.core.stats import CertifierServiceStats, CertifierStats
 from repro.core.versions import Snapshot, VersionClock
 from repro.core.writeset import WriteItem, WriteOp, WriteSet
 
@@ -30,13 +34,18 @@ __all__ = [
     "CertificationResult",
     "Certifier",
     "CertifierLog",
+    "CertifierServiceStats",
+    "CertifierStats",
     "CommitSequencer",
     "DiskConfig",
     "GroupCommitBatcher",
     "GroupCommitStats",
+    "HashPartitioner",
     "LogRecord",
     "NetworkConfig",
+    "Partitioner",
     "ReplicationConfig",
+    "ShardedCertifier",
     "Snapshot",
     "SystemKind",
     "VersionClock",

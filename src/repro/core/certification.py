@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.certifier_log import CertifierLog, LogRecord
+from repro.core.stats import CertifierStats
 from repro.core.versions import VersionClock
 from repro.core.writeset import WriteSet
 from repro.errors import LogPrunedError
@@ -304,6 +305,44 @@ class Certifier:
                 )
         return extended
 
+    # -- sharded certification hooks ----------------------------------------
+
+    def probe_conflict(self, writeset: WriteSet, after_version: int) -> int | None:
+        """Conflict-check ``writeset`` against the window after ``after_version``
+        without mutating the log.
+
+        This is the read-only half of :meth:`certify`, split out for the
+        sharded certifier's cross-shard merge: every touched shard probes its
+        fragment first, and only when *all* fragments are conflict-free does
+        the coordinator :meth:`admit` them — an abort must never leave a
+        partial cross-shard append behind.  Counts one certification request
+        (a fragment check) and the usual per-item intersection tests.
+        """
+        self.certification_requests += 1
+        return self._find_conflict(writeset, after_version)
+
+    def admit(self, writeset: WriteSet, after_version: int,
+              origin_replica: str = "unknown") -> int:
+        """Append a pre-checked writeset at this certifier's next version.
+
+        The caller vouches (via :meth:`probe_conflict`) that ``writeset`` is
+        conflict-free after ``after_version``; no re-check is performed.
+        Returns the allocated commit version.  Used by the sharded certifier
+        to install each fragment of a cross-shard transaction once the
+        all-shards-commit decision is reached.
+        """
+        commit_version = self.system_version.increment()
+        self.log.append(
+            LogRecord(
+                commit_version=commit_version,
+                writeset=writeset,
+                origin_replica=origin_replica or "unknown",
+                certified_back_to=after_version,
+            )
+        )
+        self.commits += 1
+        return commit_version
+
     # -- internals -----------------------------------------------------------
 
     def _find_conflict(self, writeset: WriteSet, after_version: int) -> int | None:
@@ -427,21 +466,24 @@ class Certifier:
         updates = self.commits + self.aborts
         return self.aborts / updates if updates else 0.0
 
+    def stats_snapshot(self) -> CertifierStats:
+        """Typed snapshot of the certifier counters (see :mod:`repro.core.stats`)."""
+        return CertifierStats(
+            requests=self.certification_requests,
+            commits=self.commits,
+            aborts=self.aborts,
+            forced_aborts=self.forced_aborts,
+            readonly_requests=self.readonly_requests,
+            intersection_tests=self.intersection_tests,
+            snapshot_too_old_aborts=self.snapshot_too_old_aborts,
+            gc_runs=self.gc_runs,
+            system_version=self.system_version.version,
+            log_length=self.log.last_version,
+            log_retained_records=self.log.retained_count,
+            log_pruned_version=self.log.pruned_version,
+            log_pruned_records_total=self.log.pruned_records_total,
+        )
+
     def stats(self) -> dict[str, float]:
         """Snapshot of the certifier counters for reporting."""
-        return {
-            "requests": self.certification_requests,
-            "commits": self.commits,
-            "aborts": self.aborts,
-            "forced_aborts": self.forced_aborts,
-            "readonly_requests": self.readonly_requests,
-            "intersection_tests": self.intersection_tests,
-            "abort_rate": self.abort_rate,
-            "system_version": self.system_version.version,
-            "log_length": self.log.last_version,
-            "log_retained_records": self.log.retained_count,
-            "log_pruned_version": self.log.pruned_version,
-            "log_pruned_records_total": self.log.pruned_records_total,
-            "snapshot_too_old_aborts": self.snapshot_too_old_aborts,
-            "gc_runs": self.gc_runs,
-        }
+        return self.stats_snapshot().as_dict()

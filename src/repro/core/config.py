@@ -154,6 +154,18 @@ class ReplicationConfig:
     #: How long a routed transaction waits for a multiprogramming slot
     #: before giving up (recorded as an ``admission-timeout`` abort).
     admission_timeout_ms: float = 200.0
+    #: Number of certification shards the item keyspace is partitioned
+    #: across.  1 is the paper's single certifier; higher values give each
+    #: shard its own log, fsync pipeline and propagation stream, with a
+    #: deterministic cross-shard merge for multi-shard writesets (see
+    #: ``docs/certifier.md``).
+    certifier_shards: int = 1
+    #: Bound on the log records one certifier fsync may cover (``None`` =
+    #: unbounded, the seed behaviour).  Models the bounded log buffer of a
+    #: real deployment: with a cap, a single log device saturates at
+    #: ``cap / fsync_time`` certifications per second — the regime in which
+    #: sharding's per-shard disks pay off.
+    certifier_max_flush_batch: int | None = None
     rng_seed: int = 20060418  # EuroSys 2006 conference date.
 
     def __post_init__(self) -> None:
@@ -175,6 +187,10 @@ class ReplicationConfig:
             raise ConfigurationError("admission_timeout_ms must be positive")
         if self.routing_policy is not None and self.system is SystemKind.STANDALONE:
             raise ConfigurationError("a standalone system has nothing to route")
+        if self.certifier_shards < 1:
+            raise ConfigurationError("certifier_shards must be >= 1")
+        if self.certifier_max_flush_batch is not None and self.certifier_max_flush_batch < 1:
+            raise ConfigurationError("certifier_max_flush_batch must be >= 1 or None")
 
     @property
     def certifier_majority(self) -> int:

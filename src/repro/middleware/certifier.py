@@ -32,7 +32,9 @@ from repro.core.certification import (
 )
 from repro.core.certifier_log import CertifierLog
 from repro.core.group_commit import GroupCommitBatcher
+from repro.core.stats import CertifierServiceStats
 from repro.engine.log_device import CountingLogDevice, LogDevice
+from repro.errors import ConfigurationError
 from repro.transport import FlushPolicy, WritesetStream, WritesetSubscription
 
 
@@ -59,6 +61,12 @@ class CertifierConfig:
     #: a durability flush: exactly the writesets that shared one fsync are
     #: delivered to the replicas as one batch.
     propagation_policy: FlushPolicy | None = None
+    #: Number of certification shards.  1 (the default, and the paper's
+    #: design) is served by :class:`CertifierService`; higher values are
+    #: served by :class:`~repro.middleware.sharded_certifier.
+    #: ShardedCertifierService`, which partitions the item keyspace across
+    #: independent certify/flush/propagate pipelines (``docs/certifier.md``).
+    shards: int = 1
 
 
 class CertifierService:
@@ -72,6 +80,12 @@ class CertifierService:
         log: CertifierLog | None = None,
     ) -> None:
         self.config = config if config is not None else CertifierConfig()
+        if self.config.shards > 1:
+            raise ConfigurationError(
+                "CertifierService serves exactly one shard; build a "
+                "ShardedCertifierService (or use make_certifier_service) "
+                f"for shards={self.config.shards}"
+            )
         self.device: LogDevice = log_device if log_device is not None else CountingLogDevice()
         self._rng = random.Random(self.config.rng_seed)
         self.core = Certifier(
@@ -177,6 +191,16 @@ class CertifierService:
 
     # -- propagation (the transport layer) -------------------------------------
 
+    def flush_propagation(self) -> None:
+        """Deliver everything the stream is still holding (refresh override).
+
+        Bounded staleness overrides the batching policy: a refresh delivers
+        whatever the certifier has released, even a sub-cap/sub-window tail.
+        One method on both certifier front-ends (the sharded service flushes
+        every shard stream), so the proxy needs no knowledge of the shape.
+        """
+        self.stream.flush()
+
     def subscribe_replica(self, replica: str, from_version: int = 0) -> WritesetSubscription:
         """Attach a replica to the writeset stream (and the GC protocol).
 
@@ -205,18 +229,19 @@ class CertifierService:
     def log(self) -> CertifierLog:
         return self.core.log
 
-    def stats(self) -> dict[str, float]:
-        stats = self.core.stats()
-        stats.update(
-            {
-                "fsyncs": float(self.fsync_count),
-                "writesets_per_fsync": self.writesets_per_fsync,
-                "durable_version": float(self.core.log.durable_version),
-                "propagation_batches": float(self.stream.stats.flushes),
-                "writesets_per_propagation_batch": self.stream.stats.average_batch_size,
-            }
+    def stats_snapshot(self) -> CertifierServiceStats:
+        """Typed service snapshot (core + durability + propagation batching)."""
+        return CertifierServiceStats(
+            core=self.core.stats_snapshot(),
+            flush=self._batcher.stats,
+            propagation=self.stream.stats,
+            fsyncs=self.fsync_count,
+            durable_version=self.core.log.durable_version,
+            shards=1,
         )
-        return stats
+
+    def stats(self) -> dict[str, float]:
+        return self.stats_snapshot().as_dict()
 
     def __repr__(self) -> str:
         return (

@@ -84,7 +84,14 @@ class ProxyStats:
 
 
 class TransparentProxy:
-    """The replication proxy attached to one database replica."""
+    """The replication proxy attached to one database replica.
+
+    ``certifier`` is either certifier front-end — the single
+    :class:`CertifierService` or a :class:`~repro.middleware.
+    sharded_certifier.ShardedCertifierService`; the proxy only uses the
+    shared surface (certify / subscribe / refresh / horizon extension), so
+    it is oblivious to the sharding.
+    """
 
     def __init__(
         self,
@@ -420,8 +427,9 @@ class TransparentProxy:
         """
         # Bounded staleness overrides the batching policy: deliver whatever
         # the certifier has released, even a sub-cap/sub-window tail the
-        # policy would keep holding.
-        self.certifier.stream.flush()
+        # policy would keep holding.  (One call on either certifier shape:
+        # the sharded service flushes every shard stream.)
+        self.certifier.flush_propagation()
         # The subscription cursor can trail ``replica_version`` when writesets
         # arrived in-band with a certification response; advancing it first
         # drops those from the poll, so the ordered path never re-applies a

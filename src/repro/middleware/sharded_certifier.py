@@ -1,0 +1,286 @@
+"""The sharded certifier service (functional stack).
+
+Wraps the pure :class:`~repro.core.sharding.ShardedCertifier` with the IO
+duties of a certifier deployment, one pipeline *per shard*:
+
+* each shard owns its own log device, its own group-commit batcher and its
+  own :class:`~repro.transport.WritesetStream` — a single-shard transaction
+  certifies, flushes and propagates entirely within one shard, with no
+  cross-shard coordination;
+* a cross-shard transaction's decision is released only once its fragment
+  is durable on **every** touched shard (the all-shards-commit half of the
+  merge; the any-shard-aborts half never reaches IO — see
+  :meth:`ShardedCertifier.certify <repro.core.sharding.ShardedCertifier.certify>`);
+* propagation is driven by the global durability frontier: full writesets
+  are offered to their *home shard*'s stream in strict global version
+  order, and every replica consumes the per-shard streams through one
+  :class:`~repro.transport.MergedSubscription`, so the proxy refresh path
+  and :meth:`Database.apply_writeset_batch` work unchanged.
+
+The service mirrors the :class:`~repro.middleware.certifier.CertifierService`
+surface (``certify`` / ``subscribe_replica`` / ``flush`` /
+``flush_propagation`` / ``stats`` / ...) — the transparent proxy and the
+system factories treat the two interchangeably.  :func:`make_certifier_service`
+picks the implementation from ``CertifierConfig.shards``; with ``shards=1``
+the seed service is used, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.certification import (
+    CertificationRequest,
+    CertificationResult,
+    RemoteWriteSetInfo,
+)
+from repro.core.certifier_log import CertifierLog
+from repro.core.group_commit import GroupCommitBatcher
+from repro.core.sharding import Partitioner, ShardedCertifier
+from repro.core.stats import (
+    CertifierServiceStats,
+    merged_group_commit_stats,
+)
+from repro.engine.log_device import CountingLogDevice, LogDevice
+from repro.errors import ConfigurationError
+from repro.middleware.certifier import CertifierConfig, CertifierService
+from repro.transport import MergedSubscription, WritesetStream
+
+
+class ShardedCertifierService:
+    """N certification shards behind one certifier-service interface."""
+
+    def __init__(
+        self,
+        config: CertifierConfig | None = None,
+        *,
+        log_devices: list[LogDevice] | None = None,
+        partitioner: Partitioner | None = None,
+    ) -> None:
+        self.config = config if config is not None else CertifierConfig(shards=2)
+        if self.config.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        shards = self.config.shards
+        if log_devices is not None and len(log_devices) != shards:
+            raise ConfigurationError(
+                f"need one log device per shard ({shards}), got {len(log_devices)}"
+            )
+        self._rng = random.Random(self.config.rng_seed)
+        self.core = ShardedCertifier(
+            shards,
+            partitioner=partitioner,
+            forced_abort_rate=self.config.forced_abort_rate,
+            abort_chooser=self._rng.random,
+        )
+        self.devices: list[LogDevice] = (
+            list(log_devices) if log_devices is not None
+            else [CountingLogDevice() for _ in range(shards)]
+        )
+        #: Per-shard flush queues: entries are (global, shard-local) versions.
+        self._batchers: list[GroupCommitBatcher[tuple[int, int]]] = [
+            GroupCommitBatcher() for _ in range(shards)
+        ]
+        #: Per-shard outbound propagation channels (home-shard publication).
+        self.streams = [
+            WritesetStream(policy=self.config.propagation_policy)
+            for _ in range(shards)
+        ]
+        self._fsync_aligned_propagation = self.config.propagation_policy is None
+
+    # -- main request path ------------------------------------------------------
+
+    def certify(self, request: CertificationRequest) -> CertificationResult:
+        """Certify a transaction; release the decision once it is durable on
+        every shard it touched."""
+        result = self.core.certify(request)
+        if result.committed and result.tx_commit_version is not None:
+            record = self.core.record_at(result.tx_commit_version)
+            for shard_id, local in record.shard_locals:
+                self._batchers[shard_id].enqueue((result.tx_commit_version, local))
+            if self.config.durability_enabled:
+                self.flush(shard_ids=[s for s, _ in record.shard_locals])
+            else:
+                # Decision released before the log write: propagate now (the
+                # lazily flushed log stays off the critical path).
+                self._propagate_up_to(self.core.last_version)
+        interval = self.config.gc_interval_requests
+        if interval > 0 and self.core.certification_requests % interval == 0:
+            if not self.config.durability_enabled:
+                self.flush()
+            self.collect_garbage()
+        return result
+
+    def fetch_remote_writesets(self, replica_version: int,
+                               check_back_to: int | None = None,
+                               *, replica: str | None = None) -> list[RemoteWriteSetInfo]:
+        """Serve a bounded-staleness refresh request (merged version order)."""
+        return self.core.fetch_remote_writesets(replica_version, check_back_to,
+                                                replica=replica)
+
+    def extend_remote_horizons(self, infos: list[RemoteWriteSetInfo],
+                               back_to: int) -> list[RemoteWriteSetInfo]:
+        """Extend pushed writesets' conflict-free horizons (Section 5.2.1)."""
+        return self.core.extend_remote_horizons(infos, back_to)
+
+    # -- log garbage collection -----------------------------------------------
+
+    def register_replica(self, replica: str, version: int = 0) -> None:
+        """Introduce a replica to the low-water-mark protocol."""
+        self.core.note_replica_version(replica, version)
+
+    def disconnect_replica(self, replica: str) -> None:
+        """Drop a replica from GC and close its shard-stream subscriptions."""
+        self.core.forget_replica(replica)
+        for stream in self.streams:
+            stream.detach_replica(replica)
+
+    def collect_garbage(self) -> int:
+        """Prune the directory and every shard log below the low-water mark."""
+        return self.core.collect_garbage(headroom=self.config.gc_headroom_versions)
+
+    # -- durability ---------------------------------------------------------------
+
+    def flush(self, shard_ids: list[int] | None = None) -> int:
+        """Flush the pending records of the given shards (default: all).
+
+        Each shard costs one synchronous write on its own device; distinct
+        shards never share an fsync — that independence is precisely what a
+        sharded deployment buys.  Returns the number of log records (writeset
+        fragments) made durable.
+        """
+        targets = range(self.config.shards) if shard_ids is None else shard_ids
+        flushed = 0
+        for shard_id in targets:
+            flushed += self._flush_shard(shard_id)
+        if flushed:
+            self._propagate_up_to()
+        return flushed
+
+    def _flush_shard(self, shard_id: int) -> int:
+        batcher = self._batchers[shard_id]
+        if not batcher.has_pending:
+            return 0
+        shard = self.core.shards[shard_id]
+        device = self.devices[shard_id]
+        batch = batcher.take_batch()
+        for _global_version, local_version in batch:
+            record = shard.log.record_at(local_version)
+            device.append(record.writeset.size_bytes().to_bytes(4, "big"))
+        device.sync()
+        batcher.complete_batch()
+        shard.log.mark_durable(max(local for _, local in batch))
+        self.core.advance_durable_frontier()
+        return len(batch)
+
+    # -- propagation (the transport layer) -------------------------------------
+
+    def _propagate_up_to(self, version: int | None = None) -> None:
+        """Offer committed records up to ``version`` to their home streams.
+
+        The frontier-ordered walk itself lives in
+        :meth:`ShardedCertifier.take_propagatable` (shared with the sim
+        node); this method only places each record on its home stream and
+        cuts the batches.  Strict global order means each shard stream
+        carries an ascending (sparse) slice of the commit order, so the
+        replica-side :class:`MergedSubscription` can release contiguous runs.
+        """
+        touched: set[int] = set()
+        for record in self.core.take_propagatable(version):
+            self.streams[record.home_shard].offer(
+                RemoteWriteSetInfo(
+                    commit_version=record.commit_version,
+                    writeset=record.writeset,
+                    origin_replica=record.origin_replica,
+                    conflict_free_back_to=self.core.certified_back_to(
+                        record.commit_version),
+                )
+            )
+            touched.add(record.home_shard)
+        for shard_id in touched:
+            if self._fsync_aligned_propagation:
+                self.streams[shard_id].flush()
+            else:
+                self.streams[shard_id].flush_due()
+
+    def flush_propagation(self) -> None:
+        """Deliver everything every shard stream is still holding."""
+        for stream in self.streams:
+            stream.flush()
+
+    def subscribe_replica(self, replica: str, from_version: int = 0) -> MergedSubscription:
+        """Attach a replica to every shard stream behind one merged view.
+
+        Backfilled from the global directory so a late joiner starts
+        complete; also enrols the replica in the log-GC low-water-mark
+        protocol, exactly like the single service.
+        """
+        self.core.note_replica_version(replica, from_version)
+        backfill = self.core.fetch_remote_writesets(from_version, replica=replica)
+        parts = [
+            stream.subscribe(replica, from_version=from_version)
+            for stream in self.streams
+        ]
+        return MergedSubscription(parts, from_version=from_version, name=replica,
+                                  backfill=backfill)
+
+    # -- statistics ------------------------------------------------------------------
+
+    @property
+    def fsync_count(self) -> int:
+        return sum(device.sync_count for device in self.devices)
+
+    @property
+    def writesets_per_fsync(self) -> float:
+        """Average log records per synchronous write, across all shards."""
+        merged = merged_group_commit_stats([b.stats for b in self._batchers])
+        return merged.average_batch_size
+
+    @property
+    def system_version(self) -> int:
+        return self.core.system_version.version
+
+    @property
+    def shard_logs(self) -> list[CertifierLog]:
+        """The per-shard logs (shard-local version coordinates)."""
+        return [shard.log for shard in self.core.shards]
+
+    def stats_snapshot(self) -> CertifierServiceStats:
+        """Typed snapshot with per-shard pipelines merged (fresh aggregates,
+        never the live per-shard objects)."""
+        return CertifierServiceStats(
+            core=self.core.stats_snapshot(),
+            flush=merged_group_commit_stats([b.stats for b in self._batchers]),
+            propagation=merged_group_commit_stats([s.stats for s in self.streams]),
+            fsyncs=self.fsync_count,
+            durable_version=self.core.durable_version,
+            shards=self.config.shards,
+        )
+
+    def stats(self) -> dict[str, float]:
+        return self.stats_snapshot().as_dict()
+
+    def per_shard_stats(self) -> list[dict[str, float]]:
+        return self.core.per_shard_stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCertifierService(shards={self.config.shards}, "
+            f"version={self.system_version}, durable={self.core.durable_version}, "
+            f"fsyncs={self.fsync_count})"
+        )
+
+
+def make_certifier_service(
+    config: CertifierConfig | None = None,
+    **kwargs: object,
+) -> "CertifierService | ShardedCertifierService":
+    """Build the certifier front-end matching ``config.shards``.
+
+    ``shards=1`` (the default) returns the seed :class:`CertifierService` —
+    the sharded machinery is not even constructed, so the single-shard
+    deployment is byte-for-byte the paper's certifier.
+    """
+    config = config if config is not None else CertifierConfig()
+    if config.shards <= 1:
+        return CertifierService(config, **kwargs)  # type: ignore[arg-type]
+    return ShardedCertifierService(config, **kwargs)  # type: ignore[arg-type]

@@ -33,6 +33,10 @@ from repro.errors import ConfigurationError
 from repro.middleware.certifier import CertifierConfig, CertifierService
 from repro.middleware.client_api import ClientSession
 from repro.middleware.replica import Replica
+from repro.middleware.sharded_certifier import (
+    ShardedCertifierService,
+    make_certifier_service,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.balancer.session import RoutedSession
@@ -40,10 +44,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class ReplicatedSystem:
-    """A fully assembled replicated database system."""
+    """A fully assembled replicated database system.
+
+    ``certifier`` is the single :class:`CertifierService` when
+    ``config.certifier_shards == 1`` (the paper's design, byte for byte) and
+    a :class:`ShardedCertifierService` otherwise; both expose the same
+    surface, so everything below is oblivious to the sharding.
+    """
 
     config: ReplicationConfig
-    certifier: CertifierService
+    certifier: CertifierService | ShardedCertifierService
     replicas: list[Replica] = field(default_factory=list)
 
     # -- schema / data management ------------------------------------------------
@@ -206,11 +216,12 @@ def build_replicated_system(config: ReplicationConfig) -> ReplicatedSystem:
         raise ConfigurationError(
             "use repro.engine.Database directly for a standalone database"
         )
-    certifier = CertifierService(
+    certifier = make_certifier_service(
         CertifierConfig(
             durability_enabled=config.system.durability_in_certifier,
             forced_abort_rate=config.forced_abort_rate,
             rng_seed=config.rng_seed,
+            shards=config.certifier_shards,
         )
     )
     system = ReplicatedSystem(config=config, certifier=certifier)

@@ -12,13 +12,17 @@ a single push-based, batch-oriented pipeline:
   size-capped, time-windowed, explicit/fsync-aligned);
 * :class:`WritesetStream` / :class:`WritesetSubscription` — batched
   propagation of certified writesets from the certifier to every replica,
-  backed by the shared :class:`~repro.core.group_commit.GroupCommitBatcher`.
+  backed by the shared :class:`~repro.core.group_commit.GroupCommitBatcher`;
+* :class:`MergedSubscription` — the replica-side deterministic merge over a
+  sharded certifier's per-shard streams, interleaving batches by global
+  commit version (see ``docs/certifier.md``).
 
 See ``docs/architecture.md`` for the layer diagram and which paper variant
 uses which policy.
 """
 
 from repro.transport.bus import BusStats, BusSubscription, Message, MessageBus
+from repro.transport.merged import MergedSubscription
 from repro.transport.policy import (
     ExplicitFlushPolicy,
     FlushPolicy,
@@ -39,6 +43,7 @@ __all__ = [
     "ExplicitFlushPolicy",
     "FlushPolicy",
     "ImmediateFlushPolicy",
+    "MergedSubscription",
     "Message",
     "MessageBus",
     "SizeCappedFlushPolicy",

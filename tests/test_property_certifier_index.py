@@ -16,6 +16,8 @@ from hypothesis import given, settings, strategies as st
 from repro.core.certification import CertificationRequest, Certifier
 from repro.core.certifier_log import MODE_VERIFY, CertifierLog
 from repro.core.writeset import make_writeset
+from repro.middleware.certifier import CertifierConfig, CertifierService
+from repro.middleware.sharded_certifier import ShardedCertifierService
 
 # A small keyspace keeps both conflicts and re-writes of the same item
 # frequent, which is what stresses the per-item version lists.
@@ -174,3 +176,136 @@ def test_gc_and_crash_keep_index_rebuildable(operations):
     for after in range(log.pruned_version, log.last_version + 1):
         assert (log.first_conflicting_version(probe_all, after)
                 == rebuilt.first_conflicting_version(probe_all, after))
+
+
+# ---------------------------------------------------------------------------
+# Sharded certification ≡ the single certifier (decisions and replica state)
+# ---------------------------------------------------------------------------
+#
+# The second tentpole invariant: for any workload, a sharded certifier
+# (shards=N, any N) reaches exactly the same commit/abort decisions, assigns
+# the same commit versions, and delivers the same version-ordered writeset
+# stream to a replica as the seed single-certifier path (shards=1).  The
+# workload spans two tables and a small keyspace so writesets routinely
+# straddle shards and conflicts are frequent; garbage collection runs at an
+# aggressive interval so the pruned-window paths are exercised too.
+
+shard_ops = st.lists(
+    st.one_of(
+        # certify: items as (table_index, key) pairs + a snapshot-age fraction
+        st.tuples(st.just("certify"),
+                  st.lists(st.tuples(st.integers(0, 1), keys), min_size=1, max_size=5),
+                  st.floats(0.0, 1.0)),
+        st.tuples(st.just("poll"), st.just(0)),
+        st.tuples(st.just("gc"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+def _service_config(**overrides):
+    base = dict(durability_enabled=True, gc_interval_requests=16,
+                gc_headroom_versions=4, rng_seed=7)
+    base.update(overrides)
+    return CertifierConfig(**base)
+
+
+def _drain(subscription, state, last_seen):
+    """Apply a subscription's delivered writesets to a model replica state.
+
+    Asserts global version order on the way (an out-of-order delivery would
+    be dropped by the real proxy's watermark filter).  Returns the highest
+    version seen.
+    """
+    for info in subscription.poll_flat():
+        assert info.commit_version > last_seen, "delivery out of version order"
+        last_seen = info.commit_version
+        for item_id in info.writeset.iter_item_ids():
+            state[item_id] = info.commit_version
+    return last_seen
+
+
+@given(shard_ops, st.integers(min_value=1, max_value=4))
+@settings(max_examples=80, deadline=None)
+def test_sharded_certifier_matches_single_decisions_and_replica_state(operations, shards):
+    single = CertifierService(_service_config())
+    sharded = ShardedCertifierService(_service_config(shards=shards))
+
+    single_sub = single.subscribe_replica("observer", 0)
+    sharded_sub = sharded.subscribe_replica("observer", 0)
+    single_state: dict = {}
+    sharded_state: dict = {}
+    single_seen = sharded_seen = 0
+
+    for op in operations:
+        kind = op[0]
+        if kind == "certify":
+            _, entries, fraction = op
+            writeset = make_writeset([(f"t{t}", k) for t, k in entries])
+            start = _pick(single.core.log.pruned_version,
+                          single.system_version, fraction)
+            request = dict(tx_start_version=start,
+                           replica_version=single.system_version,
+                           origin_replica="client")
+            result_single = single.certify(
+                CertificationRequest(writeset=writeset, **request))
+            result_sharded = sharded.certify(
+                CertificationRequest(writeset=writeset, **request))
+            assert result_sharded.committed == result_single.committed
+            assert result_sharded.tx_commit_version == result_single.tx_commit_version
+            assert (result_sharded.conflicting_version
+                    == result_single.conflicting_version)
+            # The merged in-band remote view matches version for version.
+            assert ([i.commit_version for i in result_sharded.remote_writesets]
+                    == [i.commit_version for i in result_single.remote_writesets])
+        elif kind == "poll":
+            single.flush_propagation()
+            sharded.flush_propagation()
+            single_seen = _drain(single_sub, single_state, single_seen)
+            sharded_seen = _drain(sharded_sub, sharded_state, sharded_seen)
+            # Feed the observer's watermark so log GC can make progress.
+            single.register_replica("observer", single_sub.version)
+            sharded.register_replica("observer", sharded_sub.version)
+        elif kind == "gc":
+            single.collect_garbage()
+            sharded.collect_garbage()
+        # The sharded GC horizon must track the single one: the snapshot
+        # strategy above draws from the single service's window.
+        assert sharded.core.pruned_version == single.core.log.pruned_version
+        assert sharded.system_version == single.system_version
+
+    # Final drain: both replicas converge to the identical state.
+    single.flush_propagation()
+    sharded.flush_propagation()
+    single_seen = _drain(single_sub, single_state, single_seen)
+    sharded_seen = _drain(sharded_sub, sharded_state, sharded_seen)
+    assert sharded_seen == single_seen
+    assert sharded_state == single_state
+    assert sharded.core.stats_snapshot().commits == single.core.commits
+    assert sharded.core.stats_snapshot().aborts == single.core.aborts
+
+
+@given(shard_ops, st.integers(min_value=2, max_value=4),
+       st.floats(min_value=0.1, max_value=0.5))
+@settings(max_examples=25, deadline=None)
+def test_sharded_forced_aborts_match_single(operations, shards, rate):
+    """The §9.5 abort-injection knob fires identically on both shapes: the
+    chooser is consulted at the same decision points with the same RNG."""
+    single = CertifierService(_service_config(forced_abort_rate=rate))
+    sharded = ShardedCertifierService(_service_config(forced_abort_rate=rate,
+                                                      shards=shards))
+    for op in operations:
+        if op[0] != "certify":
+            continue
+        _, entries, fraction = op
+        writeset = make_writeset([(f"t{t}", k) for t, k in entries])
+        start = _pick(single.core.log.pruned_version, single.system_version, fraction)
+        request = dict(tx_start_version=start,
+                       replica_version=single.system_version,
+                       origin_replica="client")
+        result_single = single.certify(CertificationRequest(writeset=writeset, **request))
+        result_sharded = sharded.certify(CertificationRequest(writeset=writeset, **request))
+        assert result_sharded.committed == result_single.committed
+        assert result_sharded.forced_abort == result_single.forced_abort
+        assert result_sharded.tx_commit_version == result_single.tx_commit_version
