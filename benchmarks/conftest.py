@@ -86,6 +86,19 @@ SHARD_FLUSH_CAP = int(os.environ.get("REPRO_BENCH_SHARD_FLUSH_CAP", "8"))
 SHARD_WARMUP_MS = float(os.environ.get("REPRO_BENCH_SHARD_WARMUP_MS", "300"))
 SHARD_MEASURE_MS = float(os.environ.get("REPRO_BENCH_SHARD_MEASURE_MS", "1500"))
 
+#: Availability benchmark axes (test_availability_recovery.py): shard count,
+#: closed-loop clients, bounded fsync group, the crash window of the injected
+#: shard-leader outage (absolute simulated ms) and the windows.  Independent
+#: of the global MEASURE_MS for the same reason as the sharding axes: the
+#: emitted JSON must be identical between CI and a local run.
+RECOVERY_SHARDS = int(os.environ.get("REPRO_BENCH_RECOVERY_SHARDS", "2"))
+RECOVERY_CLIENTS = int(os.environ.get("REPRO_BENCH_RECOVERY_CLIENTS", "32"))
+RECOVERY_FLUSH_CAP = int(os.environ.get("REPRO_BENCH_RECOVERY_FLUSH_CAP", "8"))
+RECOVERY_CRASH_AT_MS = float(os.environ.get("REPRO_BENCH_RECOVERY_CRASH_AT", "600"))
+RECOVERY_RECOVER_AT_MS = float(os.environ.get("REPRO_BENCH_RECOVERY_RECOVER_AT", "900"))
+RECOVERY_WARMUP_MS = float(os.environ.get("REPRO_BENCH_RECOVERY_WARMUP_MS", "300"))
+RECOVERY_MEASURE_MS = float(os.environ.get("REPRO_BENCH_RECOVERY_MEASURE_MS", "1500"))
+
 #: The four curves of the throughput/response figures.
 FIGURE_SYSTEMS = (
     SystemKind.BASE,

@@ -13,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
-from repro.core.config import DiskConfig, ReplicationConfig, SystemKind, WorkloadName
+from repro.core.config import (
+    DiskConfig,
+    ReplicationConfig,
+    SystemKind,
+    WorkloadName,
+    validate_certifier_crash_schedule,
+)
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Environment
 from repro.sim.metrics import MetricsCollector
@@ -55,6 +61,12 @@ class ExperimentConfig:
     #: Bound on log records per certifier fsync (``None`` = unbounded, the
     #: seed behaviour; see :class:`~repro.core.config.ReplicationConfig`).
     certifier_max_flush_batch: int | None = None
+    #: Deterministic shard-leader outages, ``(shard_id, crash_at_ms,
+    #: recover_at_ms)`` each (see :class:`~repro.core.config.
+    #: ReplicationConfig.certifier_crash_schedule`).  Times are absolute
+    #: simulation time, so a window placed inside the measurement window
+    #: shows up as the availability dip the recovery benchmark quantifies.
+    certifier_crash_schedule: tuple[tuple[int, float, float], ...] = ()
     #: Extra workload constructor options (scenario axes such as
     #: AllUpdates' ``update_burst``); forwarded to ``workload_by_name``.
     workload_options: Mapping[str, object] | None = None
@@ -71,6 +83,8 @@ class ExperimentConfig:
             raise ConfigurationError("a standalone system has nothing to route")
         if self.measure_ms <= 0 or self.warmup_ms < 0:
             raise ConfigurationError("measurement window must be positive")
+        validate_certifier_crash_schedule(self.certifier_crash_schedule,
+                                          self.certifier_shards)
 
     def replication_config(self, workload: WorkloadSpec) -> ReplicationConfig:
         clients = self.clients_per_replica or workload.default_clients_per_replica
@@ -86,6 +100,7 @@ class ExperimentConfig:
             admission_timeout_ms=self.admission_timeout_ms,
             certifier_shards=self.certifier_shards,
             certifier_max_flush_batch=self.certifier_max_flush_batch,
+            certifier_crash_schedule=self.certifier_crash_schedule,
             rng_seed=self.seed,
         )
 

@@ -80,7 +80,10 @@ class SystemModel(abc.ABC):
     def _build_certifier(self) -> "SimCertifierNode | SimShardedCertifierNode | None":
         if self.config.system is SystemKind.STANDALONE:
             return None
-        if self.config.certifier_shards > 1:
+        # Any crash schedule is served by the sharded node (its 1-shard core
+        # is equivalence-tested against the single certifier), since fault
+        # injection is modeled at shard granularity.
+        if self.config.certifier_shards > 1 or self.config.certifier_crash_schedule:
             return SimShardedCertifierNode(
                 self.env,
                 self.config,

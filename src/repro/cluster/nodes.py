@@ -348,6 +348,23 @@ class SimShardedCertifierNode:
         #: transaction's decision is released once every touched shard has
         #: flushed its fragment.
         self._durability_waiters: dict[int, list] = {}
+        # Deterministic shard-leader outages (certifier_crash_schedule): a
+        # down shard accepts no certifications and flushes nothing; fragments
+        # touching it park on the shard's recovery event.  The down state is
+        # a counter so touching windows (crash == previous recover) behave as
+        # one longer outage regardless of same-timestamp event order;
+        # strictly overlapping windows are rejected by config validation.
+        self._shard_down: list[int] = [0] * shards
+        self._shard_up_events: list[Event | None] = [None] * shards
+        self.crash_events = 0
+        self.downtime_ms = 0.0
+        self.stalled_requests = 0
+        for event_index, (shard_id, crash_at_ms, recover_at_ms) in enumerate(
+                config.certifier_crash_schedule):
+            env.process(
+                self._crash_driver(shard_id, crash_at_ms, recover_at_ms),
+                name=f"{name}-shard{shard_id}-crash-{event_index}",
+            )
         for shard_id in range(shards):
             env.process(self._shard_log_writer(shard_id),
                         name=f"{name}-shard{shard_id}-log-writer")
@@ -392,6 +409,15 @@ class SimShardedCertifierNode:
         if not fragments:
             yield from self.cpu.execute(self.certify_cpu_ms)
         else:
+            # A crashed shard leader processes nothing until its group has
+            # failed over (the paper's availability window): every fragment
+            # aimed at a down shard parks on that shard's recovery event.
+            # One count per request, however many down shards it touches.
+            if any(self._shard_down[shard_id] for shard_id in fragments):
+                self.stalled_requests += 1
+            for shard_id in sorted(fragments):
+                while self._shard_down[shard_id]:
+                    yield self._shard_up_events[shard_id]
             for shard_id in sorted(fragments):
                 yield from self.shard_cpus[shard_id].execute(self.certify_cpu_ms)
         # The split above is handed through so the hot path hashes each
@@ -454,6 +480,8 @@ class SimShardedCertifierNode:
             first = yield queue.get()
             pending = [first] + queue.get_all()
             while pending:
+                while self._shard_down[shard_id]:
+                    yield self._shard_up_events[shard_id]
                 if self.max_flush_batch is None:
                     batch, pending = pending, []
                 else:
@@ -478,6 +506,26 @@ class SimShardedCertifierNode:
                         and self._flushes_since_gc >= self.gc_interval_flushes):
                     self._flushes_since_gc = 0
                     self.core.collect_garbage(headroom=self.gc_headroom_versions)
+
+    # -- fault injection (certifier_crash_schedule) ---------------------------------
+
+    def _crash_driver(self, shard_id: int, crash_at_ms: float,
+                      recover_at_ms: float) -> Generator:
+        """One scheduled shard-leader outage: down at ``crash_at_ms``, back
+        (new leader elected, state transferred) at ``recover_at_ms``."""
+        yield self.env.timeout(crash_at_ms - self.env.now)
+        self._shard_down[shard_id] += 1
+        if self._shard_up_events[shard_id] is None:
+            self._shard_up_events[shard_id] = self.env.event()
+        self.crash_events += 1
+        yield self.env.timeout(recover_at_ms - crash_at_ms)
+        self._shard_down[shard_id] -= 1
+        self.downtime_ms += recover_at_ms - crash_at_ms
+        if self._shard_down[shard_id] == 0:
+            up_event = self._shard_up_events[shard_id]
+            self._shard_up_events[shard_id] = None
+            if up_event is not None:
+                up_event.succeed(shard_id)
 
     def _propagate_up_to(self, version: int | None = None) -> None:
         """Offer committed records up to ``version`` to their home streams,
@@ -538,6 +586,9 @@ class SimShardedCertifierNode:
                 "certifier_writesets_per_propagation_batch":
                     propagation.average_batch_size,
                 "certifier_shards": float(self.config.certifier_shards),
+                "certifier_crash_events": float(self.crash_events),
+                "certifier_downtime_ms": self.downtime_ms,
+                "certifier_stalled_requests": float(self.stalled_requests),
             }
         )
         return stats

@@ -105,6 +105,7 @@ def run_replica_sweep(
     routing: str | None = None,
     certifier_shards: int = 1,
     certifier_max_flush_batch: int | None = None,
+    certifier_crash_schedule: tuple[tuple[int, float, float], ...] = (),
     workload_options: Mapping[str, object] | None = None,
     warmup_ms: float = 1_000.0,
     measure_ms: float = 4_000.0,
@@ -118,6 +119,10 @@ def run_replica_sweep(
     re-runs the same sweep against a sharded certifier (with
     ``certifier_max_flush_batch`` bounding each shard's fsync group), so the
     figures can be regenerated with the certifier scaled out.
+    ``certifier_crash_schedule`` injects deterministic shard-leader outages
+    into every point of the sweep — the availability axis: each curve shows
+    what the paper's workloads look like while a certifier shard crashes and
+    fails over mid-measurement.
     """
     sweep = ReplicaSweep(workload=workload, dedicated_io=dedicated_io)
     for system in systems:
@@ -132,6 +137,7 @@ def run_replica_sweep(
                 routing=routing,
                 certifier_shards=certifier_shards,
                 certifier_max_flush_batch=certifier_max_flush_batch,
+                certifier_crash_schedule=certifier_crash_schedule,
                 workload_options=workload_options,
                 warmup_ms=warmup_ms,
                 measure_ms=measure_ms,

@@ -9,7 +9,11 @@ once a majority has acknowledged the write.  This package provides:
 * :mod:`repro.consensus.log` — a multi-Paxos style replicated log with a
   leader, majority acknowledgement and catch-up;
 * :mod:`repro.consensus.group` — the replicated certifier group built on the
-  replicated log, with crash and recovery of individual nodes.
+  replicated log, with crash and recovery of individual nodes;
+* :mod:`repro.consensus.sharded` — per-shard Paxos groups and the
+  fault-tolerant sharded certifier whose coordinator is reconstructible
+  from the groups' chosen prefixes (recovery orchestration lives in
+  :mod:`repro.recovery.sharded_recovery`; see ``docs/recovery.md``).
 
 A supporting package of the layer map in ``docs/architecture.md``.
 """
@@ -17,6 +21,11 @@ A supporting package of the layer map in ``docs/architecture.md``.
 from repro.consensus.paxos import Acceptor, PaxosInstance, Proposer
 from repro.consensus.log import ReplicatedLog, ReplicatedLogNode
 from repro.consensus.group import ReplicatedCertifierGroup
+from repro.consensus.sharded import (
+    ReplicatedShardedCertifier,
+    ShardLogEntry,
+    ShardPaxosGroups,
+)
 
 __all__ = [
     "Acceptor",
@@ -25,4 +34,7 @@ __all__ = [
     "ReplicatedCertifierGroup",
     "ReplicatedLog",
     "ReplicatedLogNode",
+    "ReplicatedShardedCertifier",
+    "ShardLogEntry",
+    "ShardPaxosGroups",
 ]

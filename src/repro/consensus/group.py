@@ -66,6 +66,22 @@ class ReplicatedCertifierGroup:
             self.stats.appended_records += 1
         return result
 
+    # -- log garbage collection (low-water-mark protocol) ------------------------------------
+
+    def note_replica_version(self, replica: str, version: int) -> None:
+        """Record a replica's applied watermark with the leader's certifier."""
+        self.certifier.note_replica_version(replica, version)
+
+    def collect_garbage(self, *, headroom: int = 0) -> int:
+        """Prune the leader's certifier log below the replicas' low-water mark.
+
+        The replicated slots themselves are retained (they are the group's
+        stable storage); what GC bounds is the leader's in-memory conflict
+        window, exactly as for an unreplicated certifier.  Returns the
+        number of records pruned.
+        """
+        return self.certifier.collect_garbage(headroom=headroom)
+
     # -- failures ----------------------------------------------------------------------------
 
     def crash_node(self, node_id: int) -> None:

@@ -123,6 +123,40 @@ class NetworkConfig:
         return self.one_way_latency_ms + (size_bytes / 1024.0) * self.per_kb_ms
 
 
+def validate_certifier_crash_schedule(
+    schedule: tuple[tuple[int, float, float], ...], num_shards: int
+) -> None:
+    """Validate a ``certifier_crash_schedule`` against ``num_shards``.
+
+    Shared by :class:`ReplicationConfig` and the cluster's
+    ``ExperimentConfig`` so the two front doors cannot drift.  Windows on
+    the same shard must not overlap (a strict overlap would double-count an
+    outage and re-arm the shard's recovery event while transactions are
+    parked on the old one); touching windows (``crash == recover``) are
+    allowed and behave as one longer outage.
+    """
+    by_shard: dict[int, list[tuple[float, float]]] = {}
+    for shard_id, crash_at_ms, recover_at_ms in schedule:
+        if not 0 <= shard_id < num_shards:
+            raise ConfigurationError(
+                f"crash schedule names shard {shard_id}, but only "
+                f"{num_shards} certifier shard(s) exist"
+            )
+        if not 0 <= crash_at_ms < recover_at_ms:
+            raise ConfigurationError(
+                "crash schedule windows need 0 <= crash_at_ms < recover_at_ms"
+            )
+        by_shard.setdefault(shard_id, []).append((crash_at_ms, recover_at_ms))
+    for shard_id, windows in by_shard.items():
+        windows.sort()
+        for (_, first_recover), (second_crash, _) in zip(windows, windows[1:]):
+            if second_crash < first_recover:
+                raise ConfigurationError(
+                    f"crash schedule windows for shard {shard_id} overlap; "
+                    f"merge them into one window"
+                )
+
+
 @dataclass(frozen=True)
 class ReplicationConfig:
     """Top-level configuration of a replicated system."""
@@ -166,6 +200,15 @@ class ReplicationConfig:
     #: ``cap / fsync_time`` certifications per second — the regime in which
     #: sharding's per-shard disks pay off.
     certifier_max_flush_batch: int | None = None
+    #: Deterministic shard-leader outages injected into the simulated
+    #: certifier: each entry is ``(shard_id, crash_at_ms, recover_at_ms)``.
+    #: During the window that shard accepts no certifications and flushes no
+    #: log records (its group is electing and state-transferring a new
+    #: leader); transactions touching it stall and drain on recovery.  An
+    #: empty tuple (the default) disables fault injection.  Any non-empty
+    #: schedule is served by the sharded certifier node even at
+    #: ``certifier_shards=1``.
+    certifier_crash_schedule: tuple[tuple[int, float, float], ...] = ()
     rng_seed: int = 20060418  # EuroSys 2006 conference date.
 
     def __post_init__(self) -> None:
@@ -191,6 +234,8 @@ class ReplicationConfig:
             raise ConfigurationError("certifier_shards must be >= 1")
         if self.certifier_max_flush_batch is not None and self.certifier_max_flush_batch < 1:
             raise ConfigurationError("certifier_max_flush_batch must be >= 1 or None")
+        validate_certifier_crash_schedule(self.certifier_crash_schedule,
+                                          self.certifier_shards)
 
     @property
     def certifier_majority(self) -> int:

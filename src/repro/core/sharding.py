@@ -73,7 +73,7 @@ from repro.core.certifier_log import CertifierLog
 from repro.core.stats import CertifierStats
 from repro.core.versions import VersionClock
 from repro.core.writeset import WriteSet
-from repro.errors import ConfigurationError, LogPrunedError
+from repro.errors import ConfigurationError, LogPrunedError, RecoveryError
 
 
 class Partitioner(Protocol):
@@ -200,6 +200,43 @@ class CertifierShard:
                                      origin_replica)
         self._globals.append(global_version)
         return local
+
+    def admit_at(self, fragment: WriteSet, global_after: int, global_version: int,
+                 origin_replica: str) -> int:
+        """Install a fragment at ``global_version``, idempotently.
+
+        The recovery replay path: a round interrupted by a crash may already
+        have installed this fragment on some shards, so re-offering it must
+        be a no-op there (and must install it everywhere else).  Returns the
+        fragment's shard-local version either way.  A ``global_version`` that
+        is neither already present nor the shard's next global is a replay
+        protocol violation and raises :class:`~repro.errors.RecoveryError`.
+        """
+        if global_version <= self._pruned_global:
+            # Below this shard's GC horizon: the fragment was pruned; the
+            # horizon itself is the conservative local coordinate.
+            return self.log.pruned_version
+        if self._globals and self._globals[-1] >= global_version:
+            index = bisect_right(self._globals, global_version) - 1
+            if index < 0 or self._globals[index] != global_version:
+                raise RecoveryError(
+                    f"shard {self.shard_id}: replay offered global version "
+                    f"{global_version}, which is neither installed nor next"
+                )
+            return self.log.pruned_version + index + 1
+        return self.admit(fragment, global_after, global_version, origin_replica)
+
+    # -- recovery accessors --------------------------------------------------
+
+    @property
+    def pruned_global(self) -> int:
+        """Global version the pruned local prefix maps to (GC horizon)."""
+        return self._pruned_global
+
+    def global_map(self) -> tuple[int, ...]:
+        """The retained local→global version map (ascending global versions;
+        entry ``i`` belongs to local version ``pruned_version + 1 + i``)."""
+        return tuple(self._globals)
 
     # -- extended certification (Tashkent-API horizons) ---------------------
 
@@ -349,15 +386,25 @@ class ShardedCertifier:
     # -- main entry point ----------------------------------------------------
 
     def certify(self, request: CertificationRequest,
-                fragments: dict[int, WriteSet] | None = None) -> CertificationResult:
+                fragments: dict[int, WriteSet] | None = None,
+                *, phase_hook: Callable[[str], None] | None = None) -> CertificationResult:
         """Process one certification request (the seed pseudo-code, sharded).
 
         ``fragments`` may carry a precomputed ``partitioner.split(request.
         writeset)`` when the caller already split the writeset (the
         simulated node does, to charge each touched shard's CPU lane) —
         the hot path then hashes every item exactly once.
+
+        ``phase_hook`` is the fault-injection seam used by the crash-schedule
+        harness: it is invoked with the phase name at the boundaries of the
+        commit path — ``post-probe`` (all fragments checked clean),
+        ``pre-admit`` (global version allocated, nothing installed),
+        ``mid-admit`` (first touched shard installed) and ``post-admit``
+        (directory record appended).  A hook that raises models a coordinator
+        crash at exactly that point; the volatile state it leaves behind is
+        what recovery must resolve.
         """
-        result = self._certify(request, fragments)
+        result = self._certify(request, fragments, phase_hook)
         # As in the single certifier: enroll the replica's watermark only
         # after the request was accepted (a refused below-horizon requester
         # must not pin GC forever).
@@ -365,7 +412,8 @@ class ShardedCertifier:
         return result
 
     def _certify(self, request: CertificationRequest,
-                 fragments: dict[int, WriteSet] | None = None) -> CertificationResult:
+                 fragments: dict[int, WriteSet] | None = None,
+                 phase_hook: Callable[[str], None] | None = None) -> CertificationResult:
         self._check_remote_window(request)
         self.certification_requests += 1
         writeset = request.writeset
@@ -403,25 +451,32 @@ class ShardedCertifier:
                 forced_abort=True,
             )
 
+        if phase_hook is not None:
+            phase_hook("post-probe")
         # All touched shards certified their fragment clean: allocate the
         # global commit version and install every fragment.  Nothing below
         # can fail, so cross-shard atomicity holds by construction.
         commit_version = self.system_version.increment()
+        if phase_hook is not None:
+            phase_hook("pre-admit")
         origin = request.origin_replica or "unknown"
-        shard_locals = tuple(
-            (shard_id, self.shards[shard_id].admit(
-                fragments[shard_id], request.tx_start_version, commit_version, origin))
-            for shard_id in touched
-        )
+        shard_locals: list[tuple[int, int]] = []
+        for position, shard_id in enumerate(touched):
+            shard_locals.append((shard_id, self.shards[shard_id].admit(
+                fragments[shard_id], request.tx_start_version, commit_version, origin)))
+            if position == 0 and phase_hook is not None:
+                phase_hook("mid-admit")
         self._records.append(
             GlobalRecord(
                 commit_version=commit_version,
                 writeset=writeset,
                 origin_replica=origin,
-                shard_locals=shard_locals,
+                shard_locals=tuple(shard_locals),
             )
         )
         self.commits += 1
+        if phase_hook is not None:
+            phase_hook("post-admit")
         remote = self._remote_writesets_for(request, exclude_version=commit_version)
         return CertificationResult(
             decision=CertificationDecision.COMMIT,
@@ -619,18 +674,25 @@ class ShardedCertifier:
             return None
         return min(self._replica_versions.values())
 
-    def collect_garbage(self, *, headroom: int = 0) -> int:
-        """Prune the directory and every shard log below the low-water mark.
+    def gc_target(self, *, headroom: int = 0) -> int | None:
+        """The global version GC would prune to right now, or ``None``.
 
-        The global horizon is clamped to the durability frontier (a crash
-        must never lose records we might still replay); each shard log
-        additionally clamps to its own durable prefix.  Returns the number
-        of directory records pruned.
+        Split out of :meth:`collect_garbage` so a fault-tolerant wrapper can
+        replicate the decided target (as a durable GC marker on every shard
+        group) *before* the volatile prune happens — a recovering coordinator
+        then re-prunes to exactly the same horizon.
         """
         low_water = self.low_water_mark()
         if low_water is None:
-            return 0
+            return None
         target = min(low_water - headroom, self._durable_version)
+        return target if target > self._base_version else None
+
+    def prune_to(self, global_target: int) -> int:
+        """Prune the directory and every shard log to ``global_target``
+        (clamped to the durability frontier).  Returns the number of
+        directory records pruned."""
+        target = min(global_target, self._durable_version)
         if target <= self._base_version:
             return 0
         for shard in self.shards:
@@ -639,8 +701,127 @@ class ShardedCertifier:
         del self._records[:drop]
         self._base_version = target
         self._pruned_records_total += drop
-        self.gc_runs += 1
         return drop
+
+    def apply_gc(self, global_target: int) -> int:
+        """Prune to an already-decided GC target, counting the run.
+
+        The shared tail of :meth:`collect_garbage` and the replicated
+        wrapper's marker-then-prune protocol (the target is replicated as a
+        durable GC marker *before* this volatile prune happens).
+        """
+        drop = self.prune_to(global_target)
+        if drop:
+            self.gc_runs += 1
+        return drop
+
+    def collect_garbage(self, *, headroom: int = 0) -> int:
+        """Prune the directory and every shard log below the low-water mark.
+
+        The global horizon is clamped to the durability frontier (a crash
+        must never lose records we might still replay); each shard log
+        additionally clamps to its own durable prefix.  Returns the number
+        of directory records pruned.
+        """
+        target = self.gc_target(headroom=headroom)
+        if target is None:
+            return 0
+        return self.apply_gc(target)
+
+    # -- directory reconstruction (coordinator recovery) ----------------------
+
+    @classmethod
+    def rebuild(
+        cls,
+        num_shards: int,
+        rounds: Iterable[tuple[int, WriteSet, str, int]],
+        *,
+        pruned_to: int = 0,
+        base_version: int = 0,
+        partitioner: Partitioner | None = None,
+        forced_abort_rate: float = 0.0,
+        abort_chooser: Callable[[], float] | None = None,
+        log_mode: str | None = None,
+        record_hook: Callable[[int], None] | None = None,
+    ) -> "ShardedCertifier":
+        """Reconstruct a coordinator from recovered commit rounds.
+
+        ``rounds`` is an ascending iterable of ``(commit_version, writeset,
+        origin_replica, certified_back_to)`` tuples — in recovery, the merged
+        view of the per-shard replicated logs' chosen prefixes.  The global
+        sequencer, the version-ordered directory and every shard's
+        local↔global maps are rebuilt by replaying each round through the
+        idempotent admit path: the partitioner is stable, so every fragment
+        lands on the shard that held it before the crash.  Commit versions
+        are allocated only on commit, so the recovered sequence must be dense
+        from ``base_version + 1`` — a gap means a lost round and raises
+        :class:`~repro.errors.RecoveryError` rather than silently renumbering
+        history.  ``base_version`` supports rebuilding from a *pruned*
+        source (a live service's retained directory, see
+        :meth:`~repro.middleware.sharded_certifier.ShardedCertifierService.
+        export_rounds`): everything at or below it behaves as garbage
+        collected.  ``pruned_to`` restores the GC low-water horizon (replayed
+        GC markers); ``record_hook`` is invoked with each commit version
+        before it is installed — the ``mid-directory-rebuild`` fault-injection
+        point.  A hook that raises abandons the half-built coordinator; the
+        caller simply rebuilds from scratch (the replay is idempotent).
+
+        The per-record ``certified_back_to`` horizon is restored to the value
+        carried by the replicated entry (the transaction's start version);
+        extensions performed after replication are conservative performance
+        hints and are simply re-earned after recovery.
+        """
+        certifier = cls(
+            num_shards,
+            partitioner=partitioner,
+            forced_abort_rate=forced_abort_rate,
+            abort_chooser=abort_chooser,
+            log_mode=log_mode,
+        )
+        if base_version:
+            certifier.system_version = VersionClock(base_version)
+            certifier._base_version = base_version
+            for shard in certifier.shards:
+                shard._pruned_global = base_version
+        expected = base_version
+        for commit_version, writeset, origin_replica, certified_back_to in rounds:
+            expected += 1
+            if commit_version != expected:
+                raise RecoveryError(
+                    f"recovered commit versions are not dense: expected "
+                    f"{expected}, got {commit_version}"
+                )
+            if record_hook is not None:
+                record_hook(commit_version)
+            fragments = certifier.partitioner.split(writeset)
+            allocated = certifier.system_version.increment()
+            assert allocated == commit_version
+            shard_locals = tuple(
+                (shard_id, certifier.shards[shard_id].admit_at(
+                    fragments[shard_id], certified_back_to, commit_version,
+                    origin_replica))
+                for shard_id in sorted(fragments)
+            )
+            certifier._records.append(
+                GlobalRecord(
+                    commit_version=commit_version,
+                    writeset=writeset,
+                    origin_replica=origin_replica,
+                    shard_locals=shard_locals,
+                )
+            )
+            certifier.commits += 1
+        # Every recovered round was quorum-replicated, which is what durable
+        # means for a replicated certifier: the rebuilt logs are durable to
+        # their tips and the propagation cursor starts at the frontier (a
+        # re-subscribing replica is backfilled from the directory instead).
+        for shard in certifier.shards:
+            shard.log.mark_durable(shard.log.last_version)
+        certifier._durable_version = certifier.last_version
+        certifier._propagated_version = certifier._durable_version
+        if pruned_to:
+            certifier.prune_to(pruned_to)
+        return certifier
 
     def _check_remote_window(self, request: CertificationRequest) -> int:
         """Validate the requester's remote-writeset window (see the single

@@ -27,6 +27,7 @@ the seed service is used, byte for byte.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 from repro.core.certification import (
@@ -222,6 +223,50 @@ class ShardedCertifierService:
         ]
         return MergedSubscription(parts, from_version=from_version, name=replica,
                                   backfill=backfill)
+
+    # -- failover hooks ----------------------------------------------------------
+
+    def export_rounds(self) -> list[tuple[int, object, str, int]]:
+        """The retained commit rounds, oldest first, for a warm standby.
+
+        Each element is ``(commit_version, writeset, origin_replica,
+        global_conflict_horizon)`` — exactly the shape
+        :meth:`ShardedCertifier.rebuild <repro.core.sharding.ShardedCertifier.
+        rebuild>` replays, so a standby service can be rebuilt from a live
+        service's directory (or, in the consensus-backed deployment, from the
+        shard groups via :mod:`repro.recovery.sharded_recovery`).
+        """
+        return [
+            (record.commit_version, record.writeset, record.origin_replica,
+             self.core.certified_back_to(record.commit_version))
+            for record in self.core.records_after(self.core.pruned_version)
+        ]
+
+    @classmethod
+    def from_recovered_core(
+        cls,
+        core: ShardedCertifier,
+        *,
+        config: CertifierConfig | None = None,
+        log_devices: list[LogDevice] | None = None,
+    ) -> "ShardedCertifierService":
+        """Build a service around a recovered coordinator (failover).
+
+        The per-shard IO pipelines — log devices, group-commit batchers,
+        propagation streams — start empty: a recovered coordinator's records
+        are already durable (that is what made them recoverable), and a
+        re-subscribing replica is backfilled from the directory by
+        :meth:`subscribe_replica`, so the fresh streams only ever carry
+        post-failover commits.
+        """
+        base = config if config is not None else CertifierConfig()
+        service = cls(
+            dataclasses.replace(base, shards=core.num_shards),
+            log_devices=log_devices,
+            partitioner=core.partitioner,
+        )
+        service.core = core
+        return service
 
     # -- statistics ------------------------------------------------------------------
 

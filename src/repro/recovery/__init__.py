@@ -7,6 +7,10 @@
   shared writeset-replay step.
 * :mod:`repro.recovery.certifier_recovery` — certifier crash/recovery via
   state transfer within the replicated group.
+* :mod:`repro.recovery.sharded_recovery` — sharded-certifier coordinator
+  recovery: per-shard leader election, completion of rounds interrupted
+  mid-flush, directory/sequencer reconstruction from the shard groups'
+  chosen prefixes, and the recovery report (``docs/recovery.md``).
 * :mod:`repro.recovery.timings` — the analytic recovery-time model that
   reproduces the numbers reported in Section 9.6 (dump 230 s, restore 140 s,
   2-4 s WAL recovery, 900 writesets/s replay, ~1 s log transfer per hour of
@@ -23,14 +27,20 @@ from repro.recovery.replica_recovery import (
     replay_writesets_from_certifier,
 )
 from repro.recovery.certifier_recovery import recover_certifier_node
+from repro.recovery.sharded_recovery import (
+    ShardedCertifierRecoveryReport,
+    recover_sharded_certifier,
+)
 from repro.recovery.timings import RecoveryTimingModel, RecoveryTimings
 
 __all__ = [
     "RecoveryReport",
     "RecoveryTimingModel",
     "RecoveryTimings",
+    "ShardedCertifierRecoveryReport",
     "recover_base_replica",
     "recover_certifier_node",
+    "recover_sharded_certifier",
     "recover_tashkent_mw_replica",
     "replay_writesets_from_certifier",
 ]

@@ -35,10 +35,16 @@ def recover_certifier_node(group: ReplicatedCertifierGroup, node_id: int) -> Cer
     leader = group.leader_id
     if not any(node.node_id == leader and node.up for node in group.nodes):
         leader = group.elect_new_leader()
+    # Read the GC horizon only after leadership is settled: the report must
+    # describe the log the recovered node will actually replay from.  (This
+    # used to be sampled from a group that could never run GC, so it was
+    # always 0 and a replica planning its catch-up could wrongly conclude
+    # that log replay reaches all the way back to version 0.)
+    pruned_version = group.certifier.log.pruned_version
     return CertifierRecoveryReport(
         node_id=node_id,
         entries_transferred=transferred,
         new_leader_id=leader,
         group_has_quorum=group.has_quorum(),
-        log_pruned_version=group.certifier.log.pruned_version,
+        log_pruned_version=pruned_version,
     )

@@ -1,0 +1,150 @@
+"""Sharded certifier recovery: rebuild the coordinator from the shard groups.
+
+The :class:`~repro.consensus.sharded.ReplicatedShardedCertifier` keeps all
+of its coordinator state — the global sequencer, the version-ordered
+directory, the per-shard :class:`~repro.core.certifier_log.CertifierLog`
+instances and their local↔global maps — volatile; what survives a crash is
+the per-shard Paxos groups' chosen prefixes.  This module is the recovery
+orchestration:
+
+1. every shard group (re-)elects a leader among its up nodes and its chosen
+   prefix is read — both require a majority per group, so recovery below
+   quorum surfaces as :class:`~repro.errors.QuorumUnavailableError`;
+2. the prefixes are merged into commit *rounds* keyed by global version,
+   plus the highest replicated GC marker;
+3. rounds interrupted mid-flush (present on some but not all touched
+   groups) are **completed**: the surviving entry carries the full writeset
+   and touched-shard set, so recovery appends it to the missing groups —
+   deterministically finishing what the crashed coordinator started.  A
+   round that reached *no* group simply never happened: its global version
+   was never acknowledged and is re-allocated by the rebuilt sequencer;
+4. the volatile coordinator is rebuilt by
+   :meth:`~repro.core.sharding.ShardedCertifier.rebuild` — dense-version
+   replay through the idempotent admit path — and the GC horizon is
+   restored from the replicated markers;
+5. the exactly-once commit table is rebuilt from the entries' ``tx_id``
+   tokens, so client retries of rounds that survived the crash are answered
+   instead of re-certified.
+
+Every step is idempotent, so a crash *during* recovery (the
+``mid-directory-rebuild`` fault-injection point, via ``record_hook``) is
+handled by simply running :func:`recover_sharded_certifier` again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.consensus.sharded import (
+    ENTRY_GC,
+    ReplicatedShardedCertifier,
+    ShardLogEntry,
+)
+from repro.core.sharding import ShardedCertifier
+
+
+@dataclass
+class ShardedCertifierRecoveryReport:
+    """Outcome of one sharded-certifier coordinator recovery."""
+
+    num_shards: int
+    #: Post-recovery leader of each shard's Paxos group, shard order.
+    shard_leader_ids: tuple[int, ...]
+    #: Total chosen entries read across all groups (commit + GC markers).
+    entries_scanned: int
+    #: Commit rounds installed in the rebuilt directory.
+    rounds_recovered: int
+    #: Rounds that were interrupted mid-flush and finished by recovery.
+    rounds_completed: int
+    #: Group appends performed to finish those rounds.
+    fragments_replayed: int
+    #: Restored GC low-water horizon (highest replicated GC marker).
+    pruned_version: int
+    #: Rebuilt global sequencer position (== highest recovered commit).
+    system_version: int
+    #: Rebuilt contiguous durability frontier.
+    durable_version: int
+    #: Whether every shard group still has a majority after recovery.
+    group_has_quorum: bool
+
+
+def recover_sharded_certifier(
+    certifier: ReplicatedShardedCertifier,
+    *,
+    record_hook: Callable[[int], None] | None = None,
+) -> ShardedCertifierRecoveryReport:
+    """Rebuild ``certifier``'s crashed coordinator from its shard groups.
+
+    Safe to call again after a failure part-way through (including a
+    ``record_hook`` that raised): group-side round completion only appends
+    entries that are still missing, and the volatile rebuild starts from
+    scratch each time.  Raises :class:`~repro.errors.QuorumUnavailableError`
+    if any shard group lacks a majority.
+    """
+    groups = certifier.groups
+    num_shards = groups.num_shards
+
+    leaders = tuple(groups.ensure_leader(shard_id) for shard_id in range(num_shards))
+    per_shard = [groups.chosen_entries(shard_id) for shard_id in range(num_shards)]
+    entries_scanned = sum(len(entries) for entries in per_shard)
+
+    rounds: dict[int, ShardLogEntry] = {}
+    presence: dict[int, set[int]] = {}
+    pruned_to = 0
+    for shard_id, entries in enumerate(per_shard):
+        for entry in entries:
+            if entry.kind == ENTRY_GC:
+                # A GC round interrupted mid-append leaves the marker on a
+                # subset of groups; taking the maximum over all copies
+                # completes the round — every shard re-prunes to the decided
+                # horizon, exactly as the crashed coordinator would have.
+                pruned_to = max(pruned_to, entry.global_version)
+                continue
+            rounds.setdefault(entry.global_version, entry)
+            presence.setdefault(entry.global_version, set()).add(shard_id)
+
+    rounds_completed = 0
+    fragments_replayed = 0
+    for version in sorted(rounds):
+        entry = rounds[version]
+        missing = [shard_id for shard_id in entry.touched
+                   if shard_id not in presence[version]]
+        if missing:
+            rounds_completed += 1
+            for shard_id in missing:
+                groups.append(shard_id, entry)
+                presence[version].add(shard_id)
+                fragments_replayed += 1
+
+    ordered = [
+        (version, rounds[version].writeset, rounds[version].origin_replica,
+         rounds[version].certified_back_to)
+        for version in sorted(rounds)
+    ]
+    core = ShardedCertifier.rebuild(
+        num_shards,
+        ordered,
+        pruned_to=pruned_to,
+        record_hook=record_hook,
+        **certifier.rebuild_parameters(),
+    )
+    committed_tx = {
+        entry.tx_id: version
+        for version, entry in rounds.items()
+        if entry.tx_id is not None
+    }
+    certifier.adopt_core(core, committed_tx)
+
+    return ShardedCertifierRecoveryReport(
+        num_shards=num_shards,
+        shard_leader_ids=leaders,
+        entries_scanned=entries_scanned,
+        rounds_recovered=len(rounds),
+        rounds_completed=rounds_completed,
+        fragments_replayed=fragments_replayed,
+        pruned_version=core.pruned_version,
+        system_version=core.system_version.version,
+        durable_version=core.durable_version,
+        group_has_quorum=groups.all_have_quorum(),
+    )

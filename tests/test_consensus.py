@@ -4,10 +4,16 @@ import pytest
 
 from repro.consensus.group import ReplicatedCertifierGroup
 from repro.consensus.log import ReplicatedLog, ReplicatedLogNode
-from repro.consensus.paxos import Acceptor, Ballot, Proposer
+from repro.consensus.paxos import Acceptor, Ballot, PaxosInstance, Proposer
+from repro.consensus.sharded import ShardPaxosGroups
 from repro.core.certification import CertificationRequest
 from repro.core.writeset import make_writeset
-from repro.errors import NotLeaderError, QuorumUnavailableError
+from repro.errors import (
+    ConfigurationError,
+    ConsensusError,
+    NotLeaderError,
+    QuorumUnavailableError,
+)
 
 
 # ----------------------------------------------------------------- single-decree Paxos
@@ -48,6 +54,24 @@ def test_ballot_total_order():
     assert Ballot(1, 0) < Ballot(1, 1) < Ballot(2, 0)
     assert Ballot(1, 1) <= Ballot(1, 1)
     assert Ballot(3, 2).next_round() == Ballot(4, 2)
+
+
+def test_paxos_instance_records_the_decision():
+    acceptors = [Acceptor(i) for i in range(3)]
+    instance = PaxosInstance(acceptors=acceptors)
+    assert instance.decide(Proposer(0, acceptors), "v") == "v"
+    assert instance.decided
+    assert instance.chosen_value == "v"
+
+
+def test_proposer_needs_acceptors_and_gives_up_after_max_rounds():
+    with pytest.raises(ConsensusError):
+        Proposer(0, [])
+    acceptors = [Acceptor(i) for i in range(3)]
+    for acceptor in acceptors:
+        acceptor.prepare(Ballot(1000, 9))  # a far higher standing promise
+    with pytest.raises(ConsensusError):
+        Proposer(0, acceptors).propose("v", max_rounds=3)
 
 
 # ----------------------------------------------------------------- replicated log
@@ -98,6 +122,38 @@ def test_recovering_node_catches_up_by_state_transfer():
     transferred = log.catch_up(nodes[2])
     assert transferred == 2
     assert nodes[2].known_length() == 2
+
+
+def test_replicated_log_edge_conditions():
+    with pytest.raises(ConsensusError):
+        ReplicatedLog([])
+    log, nodes = make_log()
+    for node in nodes:
+        node.crash()
+    with pytest.raises(QuorumUnavailableError):
+        log.elect_leader()
+    nodes[0].recover()
+    with pytest.raises(QuorumUnavailableError):
+        log.catch_up(nodes[0])  # no other up node to transfer from
+
+
+def test_shard_groups_validate_and_reject_unknown_ids():
+    with pytest.raises(ConfigurationError):
+        ShardPaxosGroups(0)
+    with pytest.raises(ConfigurationError):
+        ShardPaxosGroups(1, nodes_per_shard=0)
+    groups = ShardPaxosGroups(2, nodes_per_shard=3)
+    with pytest.raises(KeyError):
+        groups.group(5)
+    with pytest.raises(KeyError):
+        groups.crash_node(0, 9)
+    with pytest.raises(KeyError):
+        groups.recover_node(0, 9)
+    assert groups.up_count(0) == 3
+    groups.crash_node(0, 2)
+    assert groups.up_count(0) == 2
+    assert groups.recover_node(0, 2) == 0  # nothing appended yet
+    assert "shards=2" in repr(groups)
 
 
 # ----------------------------------------------------------------- replicated certifier group

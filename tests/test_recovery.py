@@ -149,6 +149,28 @@ def test_certifier_node_recovery_report():
     assert group.logs_consistent()
 
 
+def test_certifier_recovery_report_carries_the_leaders_gc_horizon():
+    """Regression: the report's ``log_pruned_version`` must reflect the
+    leader's actual GC horizon.  It used to always be 0 because the
+    replicated group had no GC plumbing at all, so a replica planning its
+    catch-up could wrongly conclude that log replay reaches back to
+    version 0 when the records were long pruned."""
+    group = ReplicatedCertifierGroup(3)
+    for i in range(6):
+        group.certify(
+            CertificationRequest(tx_start_version=i,
+                                 writeset=make_writeset([("t", i)]),
+                                 replica_version=i,
+                                 origin_replica="replica-0")
+        )
+    group.note_replica_version("replica-0", 5)
+    assert group.collect_garbage() == 5
+    group.crash_node(2)
+    report = recover_certifier_node(group, 2)
+    assert report.log_pruned_version == group.certifier.log.pruned_version == 5
+    assert report.group_has_quorum
+
+
 # ----------------------------------------------------------------- timing model (Section 9.6)
 
 def test_timing_model_reproduces_paper_numbers():

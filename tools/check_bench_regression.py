@@ -64,6 +64,14 @@ GUARDS: tuple[Guard, ...] = (
           ("shards", "cross_ratio"), "certifications_per_sec", "higher"),
     Guard("BENCH_certifier_shards.json", "results",
           ("shards", "cross_ratio"), "speedup_vs_single", "higher"),
+    # Deterministic simulated availability: throughput with and without a
+    # shard-leader outage, and how fast the pipeline drains on recovery
+    # (recovery_lag_ms only exists in the crash-scenario row; the steady row
+    # is skipped for that metric).
+    Guard("BENCH_recovery.json", "results",
+          ("scenario",), "certifications_per_sec", "higher"),
+    Guard("BENCH_recovery.json", "results",
+          ("scenario",), "recovery_lag_ms", "lower"),
     # Wall-clock micro-benchmarks: guard the machine-independent ratios,
     # loosely (indexed-vs-scan stays >10x even at 60% tolerance; a lost
     # index is a ~100x collapse and still fails loudly).
@@ -113,13 +121,24 @@ def check_guard(guard: Guard, default_tolerance: float) -> list[str]:
     errors: list[str] = []
     fresh_rows = rows_by_key(fresh_payload, guard)
     for key, committed_row in rows_by_key(committed_payload, guard).items():
-        if guard.metric not in committed_row:
+        if committed_row.get(guard.metric) is None:
+            # Conditionally-present metrics (e.g. recovery_lag_ms exists only
+            # in the crash-scenario row, and is null when unmeasurable) are
+            # not guarded for rows whose baseline lacks them.
             continue
         fresh_row = fresh_rows.get(key)
         if fresh_row is None:
             errors.append(
                 f"{guard.file}: row {key} present in the committed baseline "
                 f"but missing from the fresh run"
+            )
+            continue
+        if fresh_row.get(guard.metric) is None:
+            # A fresh row dropping (or nulling) a guarded metric its baseline
+            # has is a regression, reported cleanly rather than as a KeyError.
+            errors.append(
+                f"{guard.file}: metric {guard.metric!r} of row {key} present "
+                f"in the committed baseline but missing from the fresh run"
             )
             continue
         baseline = float(committed_row[guard.metric])
