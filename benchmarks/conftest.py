@@ -99,6 +99,20 @@ RECOVERY_RECOVER_AT_MS = float(os.environ.get("REPRO_BENCH_RECOVERY_RECOVER_AT",
 RECOVERY_WARMUP_MS = float(os.environ.get("REPRO_BENCH_RECOVERY_WARMUP_MS", "300"))
 RECOVERY_MEASURE_MS = float(os.environ.get("REPRO_BENCH_RECOVERY_MEASURE_MS", "1500"))
 
+#: Anti-entropy bootstrap benchmark axes (test_replica_bootstrap.py): the
+#: commit-history lengths driven while one group node is down, and the GC
+#: headrooms swept (headroom trades snapshot cadence against retained-suffix
+#: length).  Fixed defaults, independent of the global windows: the emitted
+#: ``BENCH_bootstrap.json`` must be identical between CI and a local run.
+BOOTSTRAP_HISTORIES = tuple(
+    int(n) for n in os.environ.get(
+        "REPRO_BENCH_BOOTSTRAP_HISTORIES", "40,80,160").split(",")
+)
+BOOTSTRAP_HEADROOMS = tuple(
+    int(n) for n in os.environ.get(
+        "REPRO_BENCH_BOOTSTRAP_HEADROOMS", "0,8").split(",")
+)
+
 #: The four curves of the throughput/response figures.
 FIGURE_SYSTEMS = (
     SystemKind.BASE,

@@ -67,6 +67,10 @@ class ExperimentConfig:
     #: simulation time, so a window placed inside the measurement window
     #: shows up as the availability dip the recovery benchmark quantifies.
     certifier_crash_schedule: tuple[tuple[int, float, float], ...] = ()
+    #: GC headroom the simulated certifier keeps below the replica low-water
+    #: mark (``None`` = the sim node's default; see
+    #: :class:`~repro.core.config.ReplicationConfig.certifier_gc_headroom`).
+    certifier_gc_headroom: int | None = None
     #: Extra workload constructor options (scenario axes such as
     #: AllUpdates' ``update_burst``); forwarded to ``workload_by_name``.
     workload_options: Mapping[str, object] | None = None
@@ -101,6 +105,7 @@ class ExperimentConfig:
             certifier_shards=self.certifier_shards,
             certifier_max_flush_batch=self.certifier_max_flush_batch,
             certifier_crash_schedule=self.certifier_crash_schedule,
+            certifier_gc_headroom=self.certifier_gc_headroom,
             rng_seed=self.seed,
         )
 

@@ -77,6 +77,8 @@ class SimCertifierNode:
         #: ``bound / fsync_time`` certifications per second — the saturation
         #: regime the sharded certifier splits across per-shard disks.
         self.max_flush_batch = config.certifier_max_flush_batch
+        if config.certifier_gc_headroom is not None:
+            self.gc_headroom_versions = config.certifier_gc_headroom
         self.cpu = CpuServer(env, name=f"{name}-cpu")
         # The certifier's log disk is its own device; it never competes with
         # database page IO, so no interference term.
@@ -310,6 +312,8 @@ class SimShardedCertifierNode:
         self.name = name
         self.durability_enabled = durability_enabled
         self.max_flush_batch = config.certifier_max_flush_batch
+        if config.certifier_gc_headroom is not None:
+            self.gc_headroom_versions = config.certifier_gc_headroom
         shards = config.certifier_shards
         self.core = ShardedCertifier(
             shards,
@@ -526,6 +530,25 @@ class SimShardedCertifierNode:
             self._shard_up_events[shard_id] = None
             if up_event is not None:
                 up_event.succeed(shard_id)
+
+    def calibrated_failover_window_ms(self, shard_id: int,
+                                      model: "RecoveryTimingModel | None" = None,
+                                      ) -> float:
+        """Modeled failover window for one shard, from its live state.
+
+        A crash-schedule window chosen below this value under-models the
+        outage: a replacement leader must state-transfer the shard's
+        retained log suffix (snapshot + suffix, Section 9.6 — "essentially a
+        file transfer") before it can serve.  The suffix length is read off
+        the live shard log, so tighter GC headroom directly shortens the
+        calibrated window — the trade the ``certifier_gc_headroom`` knob
+        sweeps.
+        """
+        from repro.recovery.timings import RecoveryTimingModel
+
+        model = model if model is not None else RecoveryTimingModel()
+        suffix_entries = self.core.shards[shard_id].log.retained_count
+        return model.certifier_bootstrap_seconds(0, suffix_entries) * 1000.0
 
     def _propagate_up_to(self, version: int | None = None) -> None:
         """Offer committed records up to ``version`` to their home streams,

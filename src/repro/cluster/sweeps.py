@@ -106,6 +106,7 @@ def run_replica_sweep(
     certifier_shards: int = 1,
     certifier_max_flush_batch: int | None = None,
     certifier_crash_schedule: tuple[tuple[int, float, float], ...] = (),
+    certifier_gc_headroom: int | None = None,
     workload_options: Mapping[str, object] | None = None,
     warmup_ms: float = 1_000.0,
     measure_ms: float = 4_000.0,
@@ -122,7 +123,8 @@ def run_replica_sweep(
     ``certifier_crash_schedule`` injects deterministic shard-leader outages
     into every point of the sweep — the availability axis: each curve shows
     what the paper's workloads look like while a certifier shard crashes and
-    fails over mid-measurement.
+    fails over mid-measurement.  ``certifier_gc_headroom`` sweeps the GC
+    headroom (snapshot cadence vs. retained-suffix length).
     """
     sweep = ReplicaSweep(workload=workload, dedicated_io=dedicated_io)
     for system in systems:
@@ -138,6 +140,7 @@ def run_replica_sweep(
                 certifier_shards=certifier_shards,
                 certifier_max_flush_batch=certifier_max_flush_batch,
                 certifier_crash_schedule=certifier_crash_schedule,
+                certifier_gc_headroom=certifier_gc_headroom,
                 workload_options=workload_options,
                 warmup_ms=warmup_ms,
                 measure_ms=measure_ms,

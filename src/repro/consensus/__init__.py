@@ -7,7 +7,9 @@ once a majority has acknowledged the write.  This package provides:
 
 * :mod:`repro.consensus.paxos` — single-decree Paxos (proposers, acceptors);
 * :mod:`repro.consensus.log` — a multi-Paxos style replicated log with a
-  leader, majority acknowledgement and catch-up;
+  leader, majority acknowledgement, catch-up, and log compaction behind
+  self-validating snapshots (``truncate_to`` / ``install_snapshot``,
+  orchestrated by :mod:`repro.recovery.snapshots`);
 * :mod:`repro.consensus.group` — the replicated certifier group built on the
   replicated log, with crash and recovery of individual nodes;
 * :mod:`repro.consensus.sharded` — per-shard Paxos groups and the

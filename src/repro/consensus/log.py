@@ -19,7 +19,14 @@ from repro.errors import ConsensusError, NotLeaderError, QuorumUnavailableError
 
 @dataclass
 class ReplicatedLogNode:
-    """One certifier node's replica of the log."""
+    """One certifier node's replica of the log.
+
+    Slots below :attr:`base_slot` have been *compacted away*: their effect is
+    folded into :attr:`snapshot` (an opaque, self-validating object installed
+    by :meth:`truncate_to` or :meth:`install_snapshot`), and ``entries[i]``
+    holds the value of absolute slot ``base_slot + i``.  An untruncated node
+    has ``base_slot == 0`` and behaves exactly as before.
+    """
 
     node_id: int
     entries: list[object] = field(default_factory=list)
@@ -29,6 +36,12 @@ class ReplicatedLogNode:
     #: Synchronous writes performed by this node (each accepted slot is one
     #: stable-storage write in the real system; they are batched in practice).
     stable_writes: int = 0
+    #: First retained slot; everything below it is covered by the snapshot.
+    base_slot: int = 0
+    #: The snapshot covering slots ``[0, base_slot)`` (``None`` when intact).
+    snapshot: object | None = None
+    #: Snapshots installed via anti-entropy state transfer (not local GC).
+    snapshot_installs: int = 0
 
     def acceptor_for(self, slot: int) -> Acceptor:
         acceptor = self.acceptors.get(slot)
@@ -38,14 +51,29 @@ class ReplicatedLogNode:
         acceptor.up = self.up
         return acceptor
 
+    def covers(self, slot: int) -> bool:
+        """Whether ``slot`` is still individually readable on this node."""
+        return slot >= self.base_slot
+
+    def entry_at(self, slot: int) -> object | None:
+        """The learned value of an absolute slot (``None`` = unknown or
+        compacted — callers distinguish via :meth:`covers`)."""
+        index = slot - self.base_slot
+        if index < 0 or index >= len(self.entries):
+            return None
+        return self.entries[index]
+
     def learn(self, slot: int, value: object) -> None:
         """Record a chosen value locally (extends the node's copy of the log)."""
         if not self.up:
             return
-        while len(self.entries) <= slot:
+        if slot < self.base_slot:
+            return  # already folded into the snapshot
+        index = slot - self.base_slot
+        while len(self.entries) <= index:
             self.entries.append(None)
-        if self.entries[slot] is None:
-            self.entries[slot] = value
+        if self.entries[index] is None:
+            self.entries[index] = value
             self.stable_writes += 1
 
     def crash(self) -> None:
@@ -57,13 +85,64 @@ class ReplicatedLogNode:
             acceptor.recover()
 
     def known_length(self) -> int:
-        """Length of the longest known prefix with no holes."""
-        length = 0
+        """Length of the longest known prefix with no holes (in absolute
+        slots; a snapshot counts as knowing everything beneath it)."""
+        length = self.base_slot
         for entry in self.entries:
             if entry is None:
                 break
             length += 1
         return length
+
+    # -- log compaction ---------------------------------------------------------
+
+    def truncate_to(self, slot: int, snapshot: object) -> int:
+        """Drop slots below ``slot``, replacing them with ``snapshot``.
+
+        Only the contiguous known prefix may be truncated — compacting past
+        an unlearned slot would lose a value this node never had.  Idempotent
+        for ``slot`` at or below the current base.  Returns the number of
+        entries dropped.
+        """
+        if slot <= self.base_slot:
+            return 0
+        if slot > self.known_length():
+            raise ConsensusError(
+                f"node {self.node_id}: cannot truncate to slot {slot} beyond "
+                f"the known prefix ({self.known_length()})"
+            )
+        dropped = slot - self.base_slot
+        del self.entries[:dropped]
+        self.acceptors = {s: a for s, a in self.acceptors.items() if s >= slot}
+        self.base_slot = slot
+        self.snapshot = snapshot
+        self.stable_writes += 1
+        return dropped
+
+    def install_snapshot(self, snapshot: object, up_to_slot: int) -> bool:
+        """Adopt a peer's snapshot covering slots below ``up_to_slot``.
+
+        The anti-entropy bootstrap path for a node whose known prefix
+        predates a peer's truncation point.  The snapshot is verified first
+        (duck-typed ``validate()``, raising on truncation or checksum
+        mismatch) — a corrupted transfer must be re-fetched, never installed.
+        Idempotent: re-offering a snapshot at or below the current base is a
+        no-op, so a crash mid-install is repaired by simply retrying.
+        Returns whether anything was installed.
+        """
+        validate = getattr(snapshot, "validate", None)
+        if validate is not None:
+            validate()
+        if up_to_slot <= self.base_slot:
+            return False
+        overlap = up_to_slot - self.base_slot
+        self.entries = self.entries[overlap:] if overlap < len(self.entries) else []
+        self.acceptors = {s: a for s, a in self.acceptors.items() if s >= up_to_slot}
+        self.base_slot = up_to_slot
+        self.snapshot = snapshot
+        self.stable_writes += 1
+        self.snapshot_installs += 1
+        return True
 
 
 class ReplicatedLog:
@@ -136,27 +215,68 @@ class ReplicatedLog:
     def catch_up(self, node: ReplicatedLogNode) -> int:
         """State transfer: copy missing entries to a recovering node.
 
-        Returns the number of entries transferred ("essentially a file
-        transfer" from an up node, Section 9.6).
+        The source is the up peer with the longest known prefix.  When the
+        source has compacted beneath ``node``'s known prefix (the node was
+        down past the GC horizon), its snapshot is installed first and only
+        the retained log suffix is copied — the paper's snapshot-plus-suffix
+        state transfer instead of a full log replay.  Returns the number of
+        log entries transferred ("essentially a file transfer" from an up
+        node, Section 9.6); snapshot installs are counted on the node.
         """
         source = None
         for candidate in self.up_nodes():
-            if candidate.node_id != node.node_id:
+            if candidate.node_id == node.node_id:
+                continue
+            if source is None or candidate.known_length() > source.known_length():
                 source = candidate
-                break
         if source is None:
             raise QuorumUnavailableError("no up node available for state transfer")
+        if source.base_slot > node.known_length():
+            # The retained suffix alone cannot extend this node's prefix:
+            # ship the snapshot covering everything beneath the truncation.
+            node.install_snapshot(source.snapshot, source.base_slot)
         transferred = 0
-        for slot, value in enumerate(source.entries):
+        for index, value in enumerate(source.entries):
             if value is None:
                 continue
-            if slot >= len(node.entries) or node.entries[slot] is None:
+            slot = source.base_slot + index
+            if not node.covers(slot):
+                continue
+            if node.entry_at(slot) is None:
                 node.learn(slot, value)
                 transferred += 1
         return transferred
 
+    def truncate_to(self, slot: int, snapshot: object) -> int:
+        """Compact every up node's log below ``slot`` behind ``snapshot``.
+
+        A lagging up node is caught up first so the truncation never outruns
+        a live replica's known prefix; down nodes keep their (longer) logs
+        and adopt the snapshot via :meth:`catch_up` when they return.
+        Returns the total number of entries dropped across up nodes.
+        """
+        dropped = 0
+        for node in self.up_nodes():
+            if node.known_length() < slot:
+                self.catch_up(node)
+            dropped += node.truncate_to(slot, snapshot)
+        return dropped
+
+    def base_slot(self) -> int:
+        """The effective truncation point: the furthest any up node has
+        compacted (slots below it are not readable on every up node)."""
+        return max((node.base_slot for node in self.up_nodes()), default=0)
+
+    def snapshot(self) -> object | None:
+        """The snapshot backing :meth:`base_slot` (``None`` when intact)."""
+        candidates = [node for node in self.up_nodes() if node.snapshot is not None]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda node: node.base_slot).snapshot
+
     def chosen_prefix(self) -> list[object]:
-        """The values chosen so far, in slot order (the leader's view)."""
+        """The values chosen so far, in slot order (the leader's view of the
+        retained suffix — compacted slots live in the snapshot)."""
         return [entry for entry in self.leader.entries if entry is not None]
 
     def __len__(self) -> int:

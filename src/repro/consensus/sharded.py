@@ -109,6 +109,11 @@ class ShardedGroupStats:
     gc_markers: int = 0
     #: Commit acks answered from the exactly-once table (client retries).
     replayed_acks: int = 0
+    #: Exactly-once ack entries dropped below the GC horizon (the table is
+    #: horizon-bound: it stops growing with retained history).
+    ack_entries_dropped: int = 0
+    #: Log-compaction rounds (snapshot taken + group log truncated).
+    compactions: int = 0
     per_shard: list[GroupStats] = field(default_factory=list)
 
 
@@ -211,15 +216,49 @@ class ShardPaxosGroups:
                 return transferred
         raise KeyError(f"shard {shard_id} has no node {node_id}")
 
+    # -- log compaction ------------------------------------------------------------
+
+    def compaction_base(self, shard_id: int) -> int:
+        """First retained slot of the shard's group (0 = never compacted)."""
+        return self.group(shard_id).base_slot()
+
+    def snapshot_at(self, shard_id: int) -> object | None:
+        """The snapshot backing the shard group's truncation point."""
+        return self.group(shard_id).snapshot()
+
+    def truncate_group(self, shard_id: int, up_to_slot: int,
+                       snapshot: object) -> int:
+        """Truncate the shard's replicated log beneath ``up_to_slot``.
+
+        Requires quorum (compaction replaces chosen slots; doing so while a
+        majority cannot confirm them would risk compacting an unchosen
+        value).  Returns the number of entries dropped across up nodes.
+        """
+        group = self.group(shard_id)
+        if not group.has_quorum():
+            raise QuorumUnavailableError(
+                f"certification shard {shard_id} has no majority; "
+                f"compaction needs a quorum to confirm the chosen prefix"
+            )
+        dropped = group.truncate_to(up_to_slot, snapshot)
+        return dropped
+
+    def node_log_lengths(self, shard_id: int) -> list[int]:
+        """Retained entry-list length per node (bounded-log evidence)."""
+        return [len(node.entries) for node in self.group(shard_id).nodes]
+
     # -- recovery reads -----------------------------------------------------------
 
     def chosen_entries(self, shard_id: int) -> list[ShardLogEntry]:
-        """The shard's chosen entry sequence, read across the up nodes.
+        """The shard's chosen entry sequence above the compaction base, read
+        across the up nodes.
 
         Requires a majority (recovery cannot proceed degraded below quorum —
         a minority might miss chosen entries).  The union read repairs
         leader-local holes: any learned value *is* the chosen value for its
-        slot, so the first copy found is authoritative.
+        slot, so the first copy found is authoritative.  Starts at the
+        furthest truncation point among up nodes; everything beneath it is
+        covered by :meth:`snapshot_at`.
         """
         group = self.group(shard_id)
         if not group.has_quorum():
@@ -228,14 +267,18 @@ class ShardPaxosGroups:
                 f"recovery needs a quorum to read the chosen prefix"
             )
         up_nodes = group.up_nodes()
-        length = max((len(node.entries) for node in up_nodes), default=0)
+        base = max((node.base_slot for node in up_nodes), default=0)
+        length = max(
+            (node.base_slot + len(node.entries) for node in up_nodes), default=0
+        )
         entries: list[ShardLogEntry] = []
-        for slot in range(length):
+        for slot in range(base, length):
             value = None
             for node in up_nodes:
-                if slot < len(node.entries) and node.entries[slot] is not None:
-                    value = node.entries[slot]
-                    break
+                if node.covers(slot):
+                    value = node.entry_at(slot)
+                    if value is not None:
+                        break
             if value is None:
                 break
             entries.append(value)
@@ -273,9 +316,16 @@ class ReplicatedShardedCertifier:
         abort_chooser: Callable[[], float] | None = None,
         log_mode: str | None = None,
         crash_hook: Callable[[str], None] | None = None,
+        gc_headroom: int = 0,
     ) -> None:
+        if gc_headroom < 0:
+            raise ConfigurationError("gc_headroom must be >= 0")
         self.groups = ShardPaxosGroups(num_shards, nodes_per_shard)
         self.crash_hook = crash_hook
+        #: Default records kept below the replicas' low-water mark by
+        #: :meth:`collect_garbage` — the knob trading snapshot cadence
+        #: against retained-suffix length (sweepable through the sim config).
+        self.gc_headroom = gc_headroom
         self.stats = ShardedGroupStats(per_shard=self.groups.stats)
         # Construction parameters are kept so recovery rebuilds an
         # identically configured coordinator.
@@ -388,7 +438,7 @@ class ReplicatedShardedCertifier:
 
     # -- garbage collection --------------------------------------------------
 
-    def collect_garbage(self, *, headroom: int = 0) -> int:
+    def collect_garbage(self, *, headroom: int | None = None) -> int:
         """Prune below the low-water mark, durably.
 
         The decided horizon is replicated as a ``gc`` marker to **every**
@@ -396,9 +446,17 @@ class ReplicatedShardedCertifier:
         re-prunes to exactly the same version (the satellite invariant: the
         GC low-water mark survives a coordinator restart).  Skipped — not
         failed — while any group lacks quorum: GC is background work.
+
+        ``headroom`` defaults to the certifier's configured
+        :attr:`gc_headroom`.  Exactly-once ack entries at or below the pruned
+        horizon are dropped with it: their log entries are the rebuild source
+        on recovery, so an ack must never outlive its entry — this is what
+        keeps the commit-ack table horizon-bound instead of growing with
+        history.
         """
         core = self._alive()
-        target = core.gc_target(headroom=headroom)
+        effective = self.gc_headroom if headroom is None else headroom
+        target = core.gc_target(headroom=effective)
         if target is None:
             return 0
         if not self.groups.all_have_quorum():
@@ -407,7 +465,20 @@ class ReplicatedShardedCertifier:
         for shard_id in range(self.num_shards):
             self.groups.append(shard_id, marker)
         self.stats.gc_markers += 1
+        stale = [tx for tx, version in self._committed_tx.items() if version <= target]
+        for tx in stale:
+            del self._committed_tx[tx]
+        self.stats.ack_entries_dropped += len(stale)
         return core.apply_gc(target)
+
+    def committed_acks(self) -> dict[object, int]:
+        """A copy of the exactly-once commit-ack table (tx_id → version)."""
+        return dict(self._committed_tx)
+
+    @property
+    def committed_tx_count(self) -> int:
+        """Live size of the exactly-once ack table (bounded under GC)."""
+        return len(self._committed_tx)
 
     # -- crash / recovery ----------------------------------------------------
 

@@ -209,6 +209,12 @@ class ReplicationConfig:
     #: schedule is served by the sharded certifier node even at
     #: ``certifier_shards=1``.
     certifier_crash_schedule: tuple[tuple[int, float, float], ...] = ()
+    #: Versions of headroom the certifier keeps below the replicas'
+    #: low-water mark when garbage collecting (``None`` = the sim node's
+    #: default).  Smaller headroom means tighter logs and snapshots closer
+    #: to the frontier — at the cost of more frequent backfills for laggards;
+    #: the knob makes snapshot cadence vs. retained-suffix length sweepable.
+    certifier_gc_headroom: int | None = None
     rng_seed: int = 20060418  # EuroSys 2006 conference date.
 
     def __post_init__(self) -> None:
@@ -234,6 +240,8 @@ class ReplicationConfig:
             raise ConfigurationError("certifier_shards must be >= 1")
         if self.certifier_max_flush_batch is not None and self.certifier_max_flush_batch < 1:
             raise ConfigurationError("certifier_max_flush_batch must be >= 1 or None")
+        if self.certifier_gc_headroom is not None and self.certifier_gc_headroom < 0:
+            raise ConfigurationError("certifier_gc_headroom must be >= 0 or None")
         validate_certifier_crash_schedule(self.certifier_crash_schedule,
                                           self.certifier_shards)
 

@@ -669,6 +669,11 @@ class ShardedCertifier:
     def forget_replica(self, replica: str) -> None:
         self._replica_versions.pop(replica, None)
 
+    def replica_watermarks(self) -> dict[str, int]:
+        """A copy of the known replica → applied-version watermarks (the
+        low-water-mark inputs; snapshotted for state transfer)."""
+        return dict(self._replica_versions)
+
     def low_water_mark(self) -> int | None:
         if not self._replica_versions:
             return None

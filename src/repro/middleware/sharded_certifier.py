@@ -242,6 +242,43 @@ class ShardedCertifierService:
             for record in self.core.records_after(self.core.pruned_version)
         ]
 
+    def export_state_transfer(self) -> "StateTransferPackage":
+        """Package the retained state as one checksummed transfer unit.
+
+        The anti-entropy analogue of :meth:`export_rounds`: a standby
+        validates the package before installing it (a partial or corrupted
+        download is detected and re-fetched instead of seeding a silently
+        divergent certifier), and it carries the replica watermarks so the
+        standby can keep garbage-collecting without waiting for every
+        replica to check back in.
+        """
+        from repro.recovery.snapshots import StateTransferPackage
+
+        return StateTransferPackage.capture(self.core)
+
+    @classmethod
+    def from_state_transfer(
+        cls,
+        package: "StateTransferPackage",
+        *,
+        config: CertifierConfig | None = None,
+        log_devices: list[LogDevice] | None = None,
+        partitioner: Partitioner | None = None,
+    ) -> "ShardedCertifierService":
+        """Bootstrap a standby service from a validated transfer package."""
+        package.validate()
+        core = ShardedCertifier.rebuild(
+            package.num_shards,
+            list(package.rounds),
+            pruned_to=package.horizon,
+            base_version=package.horizon,
+            partitioner=partitioner,
+        )
+        for replica, version in package.replica_versions:
+            core.note_replica_version(replica, version)
+        return cls.from_recovered_core(core, config=config,
+                                       log_devices=log_devices)
+
     @classmethod
     def from_recovered_core(
         cls,

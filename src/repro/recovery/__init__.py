@@ -11,12 +11,17 @@
   recovery: per-shard leader election, completion of rounds interrupted
   mid-flush, directory/sequencer reconstruction from the shard groups'
   chosen prefixes, and the recovery report (``docs/recovery.md``).
+* :mod:`repro.recovery.snapshots` — replicated shard snapshots at the GC
+  horizon, log compaction of the per-shard Paxos groups, and the
+  anti-entropy bootstrap path (plan / download+verify / install) by which a
+  brand-new or long-dead group node joins from snapshot + retained suffix.
 * :mod:`repro.recovery.timings` — the analytic recovery-time model that
   reproduces the numbers reported in Section 9.6 (dump 230 s, restore 140 s,
   2-4 s WAL recovery, 900 writesets/s replay, ~1 s log transfer per hour of
-  downtime).
+  downtime), extended with the snapshot + log-suffix state-transfer terms.
 
-``benchmarks/test_recovery_times.py`` drives the model (see
+``benchmarks/test_recovery_times.py`` and
+``benchmarks/test_replica_bootstrap.py`` drive the model (see
 ``docs/benchmarks.md``); the layer map is in ``docs/architecture.md``.
 """
 
@@ -31,13 +36,33 @@ from repro.recovery.sharded_recovery import (
     ShardedCertifierRecoveryReport,
     recover_sharded_certifier,
 )
+from repro.recovery.snapshots import (
+    BootstrapPlan,
+    BootstrapReport,
+    CompactionReport,
+    ShardSnapshot,
+    StateTransferPackage,
+    bootstrap_group_node,
+    capture_shard_snapshot,
+    compact_certifier,
+    plan_node_bootstrap,
+)
 from repro.recovery.timings import RecoveryTimingModel, RecoveryTimings
 
 __all__ = [
+    "BootstrapPlan",
+    "BootstrapReport",
+    "CompactionReport",
     "RecoveryReport",
     "RecoveryTimingModel",
     "RecoveryTimings",
+    "ShardSnapshot",
     "ShardedCertifierRecoveryReport",
+    "StateTransferPackage",
+    "bootstrap_group_node",
+    "capture_shard_snapshot",
+    "compact_certifier",
+    "plan_node_bootstrap",
     "recover_base_replica",
     "recover_certifier_node",
     "recover_sharded_certifier",

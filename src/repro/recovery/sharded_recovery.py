@@ -67,6 +67,10 @@ class ShardedCertifierRecoveryReport:
     durable_version: int
     #: Whether every shard group still has a majority after recovery.
     group_has_quorum: bool
+    #: Highest snapshot horizon adopted (0 = no group was compacted).
+    snapshot_version: int = 0
+    #: Shard snapshots found behind truncated logs and checksum-validated.
+    snapshots_validated: int = 0
 
 
 def recover_sharded_certifier(
@@ -89,11 +93,26 @@ def recover_sharded_certifier(
     per_shard = [groups.chosen_entries(shard_id) for shard_id in range(num_shards)]
     entries_scanned = sum(len(entries) for entries in per_shard)
 
+    # Compacted groups hold a snapshot behind their truncation point: the
+    # recovered directory starts at the highest snapshot horizon, and entries
+    # at or below it on *less*-truncated groups are skipped — their effect is
+    # already folded into the snapshot, and completing such a round onto a
+    # truncated group would append history out of order.
+    snapshots = []
+    for shard_id in range(num_shards):
+        snapshot = groups.snapshot_at(shard_id)
+        if snapshot is not None:
+            snapshot.validate()
+            snapshots.append(snapshot)
+    base_version = max((snap.global_version for snap in snapshots), default=0)
+
     rounds: dict[int, ShardLogEntry] = {}
     presence: dict[int, set[int]] = {}
-    pruned_to = 0
+    pruned_to = base_version
     for shard_id, entries in enumerate(per_shard):
         for entry in entries:
+            if entry.global_version <= base_version:
+                continue
             if entry.kind == ENTRY_GC:
                 # A GC round interrupted mid-append leaves the marker on a
                 # subset of groups; taking the maximum over all copies
@@ -126,15 +145,31 @@ def recover_sharded_certifier(
         num_shards,
         ordered,
         pruned_to=pruned_to,
+        base_version=base_version,
         record_hook=record_hook,
         **certifier.rebuild_parameters(),
     )
-    committed_tx = {
-        entry.tx_id: version
-        for version, entry in rounds.items()
-        if entry.tx_id is not None
-    }
+    # Acks for rounds at or below the snapshot horizon come from the
+    # snapshots (their log entries are gone); acks above it from the suffix.
+    # The live table is horizon-bound — ``collect_garbage`` drops acks at or
+    # below the pruned version — so the rebuilt table must be too: replaying
+    # a retained-but-pruned round's tx_id would resurrect a dropped ack.
+    committed_tx: dict[object, int] = {}
+    for snapshot in snapshots:
+        committed_tx.update(dict(snapshot.committed_tx))
+    for version, entry in rounds.items():
+        if entry.tx_id is not None:
+            committed_tx[entry.tx_id] = version
+    committed_tx = {tx: version for tx, version in committed_tx.items()
+                    if version > pruned_to}
     certifier.adopt_core(core, committed_tx)
+    # The low-water-mark inputs survive in the snapshots too: without them a
+    # recovered coordinator could never GC again until every replica checked
+    # back in.  note_replica_version is max-monotone, so replaying stale
+    # watermarks is harmless.
+    for snapshot in snapshots:
+        for replica, version in snapshot.replica_versions:
+            certifier.note_replica_version(replica, version)
 
     return ShardedCertifierRecoveryReport(
         num_shards=num_shards,
@@ -147,4 +182,6 @@ def recover_sharded_certifier(
         system_version=core.system_version.version,
         durable_version=core.durable_version,
         group_has_quorum=groups.all_have_quorum(),
+        snapshot_version=base_version,
+        snapshots_validated=len(snapshots),
     )

@@ -1,0 +1,454 @@
+"""Replicated snapshots, log compaction, and anti-entropy bootstrap.
+
+The per-shard Paxos logs of :mod:`repro.consensus.sharded` grow without
+bound unless something folds their prefix into a snapshot.  The paper's
+state-transfer story (Section 9.6) is that certifier recovery is
+"essentially a file transfer": a joining node receives a snapshot of the
+certifier state plus the retained log suffix, never a replay of the full
+history.  This module supplies the three pieces:
+
+* :class:`ShardSnapshot` / :func:`capture_shard_snapshot` — a
+  self-validating snapshot of one shard's certifier state (horizon,
+  local↔global maps, replica watermarks, exactly-once acks) captured at the
+  GC marker, in the style of :class:`repro.engine.checkpoint.Checkpoint`;
+* :func:`compact_certifier` — truncate every shard group's replicated log
+  beneath its snapshot slot (down nodes keep their longer logs and adopt
+  the snapshot via anti-entropy when they return);
+* :func:`plan_node_bootstrap` / :func:`bootstrap_group_node` — the
+  recovery-plan / downloader / verifier path by which a brand-new or
+  long-dead group node joins from snapshot + suffix, with checksum-mismatch
+  re-fetch and idempotent crash-mid-install retry.
+
+:class:`StateTransferPackage` is the coordinator-level analogue: the whole
+retained certifier state as one checksummed unit, used by the middleware to
+seed a warm standby without access to the live directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.consensus.sharded import ReplicatedShardedCertifier, ShardPaxosGroups
+from repro.core.sharding import ShardedCertifier
+from repro.errors import RecoveryError
+from repro.recovery.timings import RecoveryTimingModel
+
+#: Crash points fired by :func:`compact_certifier` (a raising hook models a
+#: coordinator crash at that protocol boundary, exactly like the certify
+#: path's ``pre-flush``/``mid-flush``/``post-flush`` seams).
+COMPACTION_CRASH_POINTS = ("pre-compact", "mid-compact", "post-compact")
+
+#: Crash points fired by :func:`bootstrap_group_node` inside the transfer.
+BOOTSTRAP_CRASH_POINTS = ("pre-transfer", "mid-transfer", "post-transfer")
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One shard's certifier state at its GC horizon, self-validating.
+
+    Covers the shard group's log slots ``[0, up_to_slot)``: every commit
+    entry at or below :attr:`global_version` is folded in (the coordinator
+    has already pruned them, so the snapshot records the *horizon*, the
+    shard-local frontier at that horizon, the replica watermarks that
+    justified pruning, and the exactly-once acks still answerable), and the
+    retained suffix above it replays through the idempotent rebuild path.
+    """
+
+    shard_id: int
+    #: The GC horizon ``G`` the snapshot was captured at (global versions).
+    global_version: int
+    #: The shard-local frontier at ``G`` (``local_horizon(G)``).
+    local_version: int
+    #: First log slot *not* covered — the group truncates to this slot.
+    up_to_slot: int
+    #: Log entries folded into the snapshot (``up_to_slot - base`` at capture).
+    entries_covered: int
+    #: Exactly-once acks at or below ``G``: ``(tx_id, commit_version)``.
+    committed_tx: tuple[tuple[object, int], ...] = ()
+    #: Replica applied-version watermarks: ``(replica, version)``.
+    replica_versions: tuple[tuple[str, int], ...] = ()
+    checksum: str = ""
+    complete: bool = True
+
+    @staticmethod
+    def _compute_checksum(shard_id: int, global_version: int, local_version: int,
+                          up_to_slot: int, entries_covered: int,
+                          committed_tx: tuple[tuple[object, int], ...],
+                          replica_versions: tuple[tuple[str, int], ...]) -> str:
+        canonical = json.dumps(
+            {
+                "shard": shard_id,
+                "global": global_version,
+                "local": local_version,
+                "slot": up_to_slot,
+                "covered": entries_covered,
+                "acks": [[repr(tx), version] for tx, version in committed_tx],
+                "replicas": [[name, version] for name, version in replica_versions],
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def validate(self) -> None:
+        """Raise :class:`RecoveryError` when truncated or corrupt."""
+        if not self.complete:
+            raise RecoveryError(
+                f"shard {self.shard_id} snapshot at version "
+                f"{self.global_version} is incomplete"
+            )
+        expected = self._compute_checksum(
+            self.shard_id, self.global_version, self.local_version,
+            self.up_to_slot, self.entries_covered,
+            self.committed_tx, self.replica_versions,
+        )
+        if expected != self.checksum:
+            raise RecoveryError(
+                f"shard {self.shard_id} snapshot at version "
+                f"{self.global_version} failed its checksum"
+            )
+
+    def corrupted_copy(self) -> "ShardSnapshot":
+        """A deliberately broken copy (crash-during-transfer injection)."""
+        return replace(self, complete=False)
+
+    def size_bytes(self) -> int:
+        """Deterministic approximate wire size (drives the timing model)."""
+        total = 96  # fixed header: ids, versions, slot, checksum
+        for tx, _version in self.committed_tx:
+            total += 24 + len(repr(tx))
+        for name, _version in self.replica_versions:
+            total += 16 + len(name)
+        return total
+
+
+def capture_shard_snapshot(certifier: ReplicatedShardedCertifier,
+                           shard_id: int) -> ShardSnapshot:
+    """Snapshot one shard's certifier state at the current GC horizon.
+
+    The horizon is the coordinator's pruned version — everything at or below
+    it is already unreachable through the volatile directory, so folding the
+    matching log prefix into the snapshot loses nothing.  The covered prefix
+    is the run of chosen entries whose ``global_version`` is at or below the
+    horizon; a GC marker deeper in the suffix is harmless (recovery takes
+    the max of the snapshot horizon and surviving markers).
+    """
+    if certifier.crashed:
+        raise RecoveryError("cannot snapshot a crashed coordinator")
+    core = certifier.core
+    horizon = core.pruned_version
+    entries = certifier.groups.chosen_entries(shard_id)
+    base = certifier.groups.compaction_base(shard_id)
+    covered = 0
+    for entry in entries:
+        if entry.global_version > horizon:
+            break
+        covered += 1
+    committed_tx = tuple(sorted(
+        ((tx, version) for tx, version in certifier.committed_acks().items()
+         if version <= horizon),
+        key=lambda item: (item[1], repr(item[0])),
+    ))
+    replica_versions = tuple(sorted(core.replica_watermarks().items()))
+    local_version = core.shards[shard_id].local_horizon(horizon)
+    checksum = ShardSnapshot._compute_checksum(
+        shard_id, horizon, local_version, base + covered, covered,
+        committed_tx, replica_versions,
+    )
+    return ShardSnapshot(
+        shard_id=shard_id,
+        global_version=horizon,
+        local_version=local_version,
+        up_to_slot=base + covered,
+        entries_covered=covered,
+        committed_tx=committed_tx,
+        replica_versions=replica_versions,
+        checksum=checksum,
+    )
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :func:`compact_certifier` round did."""
+
+    snapshots: tuple[ShardSnapshot, ...]
+    entries_truncated: int
+    shards_compacted: int
+    #: Shards skipped because their group lacked a majority (compaction is
+    #: background work; it must never stall on a degraded shard).
+    shards_skipped_no_quorum: int
+
+
+def compact_certifier(certifier: ReplicatedShardedCertifier,
+                      *, crash_hook: Callable[[str], None] | None = None,
+                      ) -> CompactionReport:
+    """Snapshot every shard at the GC horizon and truncate its group log.
+
+    Idempotent: a shard whose covered prefix is empty (nothing new below
+    the horizon) is left alone, so retrying after a crash mid-compaction
+    simply finishes the shards the first attempt missed.  ``crash_hook``
+    defaults to the certifier's own hook and fires at the
+    :data:`COMPACTION_CRASH_POINTS` seams.
+    """
+    if certifier.crashed:
+        raise RecoveryError("cannot compact a crashed coordinator")
+    hook = crash_hook if crash_hook is not None else certifier.crash_hook
+
+    def fire(point: str) -> None:
+        if hook is not None:
+            hook(point)
+
+    fire("pre-compact")
+    snapshots: list[ShardSnapshot] = []
+    entries_truncated = 0
+    skipped = 0
+    for shard_id in range(certifier.num_shards):
+        if not certifier.groups.has_quorum(shard_id):
+            skipped += 1
+            continue
+        snapshot = capture_shard_snapshot(certifier, shard_id)
+        if snapshot.entries_covered == 0:
+            continue
+        entries_truncated += certifier.groups.truncate_group(
+            shard_id, snapshot.up_to_slot, snapshot)
+        snapshots.append(snapshot)
+        if len(snapshots) == 1:
+            fire("mid-compact")
+    if snapshots:
+        certifier.stats.compactions += 1
+    fire("post-compact")
+    return CompactionReport(
+        snapshots=tuple(snapshots),
+        entries_truncated=entries_truncated,
+        shards_compacted=len(snapshots),
+        shards_skipped_no_quorum=skipped,
+    )
+
+
+@dataclass(frozen=True)
+class BootstrapPlan:
+    """The recovery plan for one group node: what a join will transfer."""
+
+    shard_id: int
+    node_id: int
+    #: The joining node's known contiguous prefix (absolute slots).
+    known_length: int
+    #: Whether the group compacted past the node's prefix — the node cannot
+    #: be repaired by suffix copy alone and must install the snapshot.
+    needs_snapshot: bool
+    #: The truncation point the snapshot covers (0 when no snapshot needed).
+    snapshot_slot: int
+    snapshot_bytes: int
+    #: Retained log entries the transfer will copy.
+    suffix_entries: int
+    #: Modeled wall-clock seconds for the transfer (Section 9.6 rates).
+    estimated_seconds: float
+
+
+def plan_node_bootstrap(groups: ShardPaxosGroups, shard_id: int, node_id: int,
+                        *, model: RecoveryTimingModel | None = None,
+                        ) -> BootstrapPlan:
+    """Plan the state transfer that would bring ``node_id`` up to date."""
+    model = model if model is not None else RecoveryTimingModel()
+    group = groups.group(shard_id)
+    node = None
+    for candidate in group.nodes:
+        if candidate.node_id == node_id:
+            node = candidate
+            break
+    if node is None:
+        raise KeyError(f"shard {shard_id} has no node {node_id}")
+    known = node.known_length()
+    base = groups.compaction_base(shard_id)
+    peers = [n for n in group.up_nodes() if n.node_id != node_id]
+    frontier = max((peer.known_length() for peer in peers), default=known)
+    needs_snapshot = base > known
+    snapshot = groups.snapshot_at(shard_id) if needs_snapshot else None
+    snapshot_bytes = snapshot.size_bytes() if snapshot is not None else 0
+    suffix_entries = max(0, frontier - max(known, base))
+    return BootstrapPlan(
+        shard_id=shard_id,
+        node_id=node_id,
+        known_length=known,
+        needs_snapshot=needs_snapshot,
+        snapshot_slot=base if needs_snapshot else 0,
+        snapshot_bytes=snapshot_bytes,
+        suffix_entries=suffix_entries,
+        estimated_seconds=model.certifier_bootstrap_seconds(
+            snapshot_bytes, suffix_entries),
+    )
+
+
+@dataclass(frozen=True)
+class BootstrapReport:
+    """What one :func:`bootstrap_group_node` join actually did."""
+
+    plan: BootstrapPlan
+    #: Snapshot downloads attempted (``> 1`` means a corrupt copy was
+    #: detected by its checksum and re-fetched).
+    fetch_attempts: int
+    snapshot_installed: bool
+    entries_transferred: int
+    #: The joined node's prefix matches the longest up peer's.
+    verified: bool
+
+
+def bootstrap_group_node(groups: ShardPaxosGroups, shard_id: int, node_id: int,
+                         *, fetch_hook: Callable[[int, ShardSnapshot], ShardSnapshot | None] | None = None,
+                         crash_hook: Callable[[str], None] | None = None,
+                         max_fetch_attempts: int = 3,
+                         model: RecoveryTimingModel | None = None,
+                         ) -> BootstrapReport:
+    """Anti-entropy join: bring a new or long-dead group node up to date.
+
+    Plan, download, verify: the snapshot (when the group compacted past the
+    node's prefix) is validated *before* installation — a checksum mismatch
+    triggers a re-fetch, up to ``max_fetch_attempts``, and only then fails.
+    ``fetch_hook(attempt, snapshot)`` may substitute the fetched copy (tests
+    inject corrupt transfers this way); ``crash_hook`` fires at the
+    :data:`BOOTSTRAP_CRASH_POINTS` seams, and a crash at any of them is
+    repaired by simply calling this function again — snapshot installation
+    and suffix copy are both idempotent.
+    """
+    plan = plan_node_bootstrap(groups, shard_id, node_id, model=model)
+    group = groups.group(shard_id)
+    node = next(n for n in group.nodes if n.node_id == node_id)
+
+    def fire(point: str) -> None:
+        if crash_hook is not None:
+            crash_hook(point)
+
+    node.recover()
+    fire("pre-transfer")
+    fetch_attempts = 0
+    installed = False
+    if groups.compaction_base(shard_id) > node.known_length():
+        authoritative = groups.snapshot_at(shard_id)
+        if authoritative is None:
+            raise RecoveryError(
+                f"shard {shard_id} group is truncated past node {node_id}'s "
+                f"prefix but no up node holds the covering snapshot"
+            )
+        while True:
+            fetch_attempts += 1
+            fetched = authoritative
+            if fetch_hook is not None:
+                substituted = fetch_hook(fetch_attempts, fetched)
+                if substituted is not None:
+                    fetched = substituted
+            try:
+                fetched.validate()
+            except RecoveryError:
+                if fetch_attempts >= max_fetch_attempts:
+                    raise RecoveryError(
+                        f"shard {shard_id} snapshot transfer to node "
+                        f"{node_id} failed validation "
+                        f"{fetch_attempts} time(s); giving up"
+                    )
+                continue
+            break
+        installed = node.install_snapshot(fetched, plan.snapshot_slot or
+                                          groups.compaction_base(shard_id))
+    fire("mid-transfer")
+    transferred = group.catch_up(node)
+    groups.stats[shard_id].state_transfers += 1
+    peers = [n for n in group.up_nodes() if n.node_id != node_id]
+    frontier = max((peer.known_length() for peer in peers), default=0)
+    verified = node.known_length() >= frontier
+    fire("post-transfer")
+    return BootstrapReport(
+        plan=plan,
+        fetch_attempts=fetch_attempts,
+        snapshot_installed=installed,
+        entries_transferred=transferred,
+        verified=verified,
+    )
+
+
+@dataclass(frozen=True)
+class StateTransferPackage:
+    """The whole retained certifier state as one checksummed transfer unit.
+
+    What a warm standby downloads to seed itself: the GC horizon, every
+    retained commit round above it, and the replica watermarks — enough for
+    :meth:`ShardedCertifier.rebuild <repro.core.sharding.ShardedCertifier.
+    rebuild>` to reconstruct an equivalent coordinator.
+    """
+
+    num_shards: int
+    #: The source's pruned horizon; rounds start at ``horizon + 1``.
+    horizon: int
+    #: ``(commit_version, writeset, origin_replica, certified_back_to)``.
+    rounds: tuple[tuple[int, object, str, int], ...]
+    replica_versions: tuple[tuple[str, int], ...] = ()
+    checksum: str = ""
+    complete: bool = True
+
+    @staticmethod
+    def _compute_checksum(num_shards: int, horizon: int,
+                          rounds: tuple[tuple[int, object, str, int], ...],
+                          replica_versions: tuple[tuple[str, int], ...]) -> str:
+        canonical = json.dumps(
+            {
+                "shards": num_shards,
+                "horizon": horizon,
+                "rounds": [
+                    [version, sorted(repr(item_id) for item_id in writeset.item_ids),
+                     origin, back_to]
+                    for version, writeset, origin, back_to in rounds
+                ],
+                "replicas": [[name, version] for name, version in replica_versions],
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def capture(cls, core: ShardedCertifier) -> "StateTransferPackage":
+        """Package the coordinator's retained state for transfer."""
+        rounds = tuple(
+            (record.commit_version, record.writeset, record.origin_replica,
+             core.certified_back_to(record.commit_version))
+            for record in core.records_after(core.pruned_version)
+        )
+        replica_versions = tuple(sorted(core.replica_watermarks().items()))
+        checksum = cls._compute_checksum(
+            core.num_shards, core.pruned_version, rounds, replica_versions)
+        return cls(
+            num_shards=core.num_shards,
+            horizon=core.pruned_version,
+            rounds=rounds,
+            replica_versions=replica_versions,
+            checksum=checksum,
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`RecoveryError` when truncated or corrupt."""
+        if not self.complete:
+            raise RecoveryError(
+                f"state-transfer package at horizon {self.horizon} is incomplete"
+            )
+        expected = self._compute_checksum(
+            self.num_shards, self.horizon, self.rounds, self.replica_versions)
+        if expected != self.checksum:
+            raise RecoveryError(
+                f"state-transfer package at horizon {self.horizon} "
+                f"failed its checksum"
+            )
+
+    def corrupted_copy(self) -> "StateTransferPackage":
+        """A deliberately broken copy (transfer-crash injection in tests)."""
+        return replace(self, complete=False)
+
+    def size_bytes(self) -> int:
+        """Deterministic approximate wire size (drives the timing model)."""
+        total = 96
+        for _version, writeset, origin, _back_to in self.rounds:
+            total += 32 + len(origin) + writeset.size_bytes()
+        for name, _version in self.replica_versions:
+            total += 16 + len(name)
+        return total

@@ -98,6 +98,34 @@ class RecoveryTimingModel:
             / self.lan_transfer_rate_bytes_per_s
         )
 
+    # -- state transfer (snapshot + log suffix) -----------------------------------------
+
+    def snapshot_transfer_seconds(self, snapshot_bytes: int) -> float:
+        """Shipping a certifier snapshot over the LAN."""
+        return snapshot_bytes / self.lan_transfer_rate_bytes_per_s
+
+    def log_suffix_transfer_seconds(self, suffix_entries: int,
+                                    entry_bytes: int | None = None) -> float:
+        """Shipping the retained log suffix (``suffix_entries`` writesets)."""
+        per_entry = self.writeset_size_bytes if entry_bytes is None else entry_bytes
+        return suffix_entries * per_entry / self.lan_transfer_rate_bytes_per_s
+
+    def certifier_bootstrap_seconds(self, snapshot_bytes: int,
+                                    suffix_entries: int,
+                                    entry_bytes: int | None = None) -> float:
+        """Total state-transfer time for a joining certifier node.
+
+        Certifier recovery is "essentially a file transfer" (Section 9.6):
+        snapshot plus retained suffix over the LAN.  With a zero-byte
+        snapshot and one hour's worth of entries this reduces exactly to
+        :meth:`certifier_transfer_seconds` at one hour — "about 1 second
+        ... for each hour of down time".
+        """
+        return (
+            self.snapshot_transfer_seconds(snapshot_bytes)
+            + self.log_suffix_transfer_seconds(suffix_entries, entry_bytes)
+        )
+
     # -- the full table -------------------------------------------------------------------
 
     def timings(self, *, downtime_hours: float = 1.0,

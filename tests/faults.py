@@ -30,8 +30,14 @@ The nine crash points and the durable state each one leaves behind:
                         restarts from scratch (it is idempotent)
 ======================  =====================================================
 
+Log compaction adds three more points (:data:`COMPACT_CRASH_POINTS`:
+``pre-compact`` / ``mid-compact`` / ``post-compact``), fired only by
+workloads containing a ``("compact",)`` operation — ``mid-compact`` leaves
+the shard groups *partially* truncated, the hardest recovery input.
+
 Used by ``tests/test_crash_schedules.py`` (exhaustive small grids plus
-Hypothesis-generated workload × schedule cells).
+Hypothesis-generated workload × schedule cells) and
+``tests/test_snapshots.py`` (compaction / bootstrap schedules).
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from repro.consensus.sharded import ReplicatedShardedCertifier
 from repro.core.certification import CertificationRequest, Certifier
 from repro.core.writeset import make_writeset
 from repro.recovery.sharded_recovery import recover_sharded_certifier
+from repro.recovery.snapshots import bootstrap_group_node, compact_certifier
 
 #: Every deterministic crash point the harness can schedule.
 CRASH_POINTS = (
@@ -53,6 +60,11 @@ CRASH_POINTS = (
     "post-flush",
     "mid-directory-rebuild",
 )
+
+#: Crash points inside log compaction (:func:`repro.recovery.snapshots.
+#: compact_certifier`).  Kept separate from :data:`CRASH_POINTS` because they
+#: only fire on workloads that contain a ``("compact",)`` operation.
+COMPACT_CRASH_POINTS = ("pre-compact", "mid-compact", "post-compact")
 
 #: GC headroom used on both sides of the comparison.
 GC_HEADROOM = 2
@@ -144,6 +156,14 @@ def run_crash_schedule(
     ``("poll",)`` / ``("gc",)`` tuples, where ``entries`` is a list of
     ``(table_index, key)`` pairs and ``fraction`` positions the snapshot
     inside the currently valid window (as in the PR 4 property tests).
+    Three further operations exercise the state-transfer subsystem (the
+    oracle has no analogue for them — they must be invisible to clients):
+    ``("compact",)`` snapshots + truncates the shard group logs (crashable
+    at the :data:`COMPACT_CRASH_POINTS`; each compact advances the request
+    index, so ``crash_at_request`` addresses compactions too);
+    ``("crash_group_node", shard_id, node_id)`` downs one group node; and
+    ``("recover_group_node", shard_id, node_id)`` rejoins it via the
+    anti-entropy bootstrap path (snapshot + retained suffix).
     """
     rebuild_crash = crash_point == "mid-directory-rebuild"
     primary_point = "post-flush" if rebuild_crash else crash_point
@@ -203,7 +223,13 @@ def run_crash_schedule(
             if result.committed:
                 commits += 1
         elif kind == "poll":
-            observer_connected = True
+            if not observer_connected:
+                observer_connected = True
+                # A fresh observer connecting after GC has pruned cannot tail
+                # from version 0 (LogPrunedError): it bootstraps at the
+                # horizon — via a dump / state transfer — and tails from there.
+                oracle_seen = max(oracle_seen, oracle.log.pruned_version)
+                sharded_seen = oracle_seen
             oracle_seen = _apply(
                 oracle_state,
                 oracle.fetch_remote_writesets(oracle_seen, replica="observer"),
@@ -216,6 +242,30 @@ def run_crash_schedule(
         elif kind == "gc":
             oracle.collect_garbage(headroom=GC_HEADROOM)
             certifier.collect_garbage(headroom=GC_HEADROOM)
+        elif kind == "compact":
+            injector.begin_request()
+            try:
+                compact_certifier(certifier)
+            except CertifierCrashed:
+                crashes += 1
+                certifier.crash()
+                recover_with_schedule(certifier, rebuild_crash=rebuild_crash)
+                if observer_connected:
+                    certifier.note_replica_version("observer", sharded_seen)
+                certifier.note_replica_version("client", last_client_version)
+                # Compaction is idempotent: the retry finishes whatever
+                # shards the crashed attempt left untruncated.
+                compact_certifier(certifier)
+        elif kind == "crash_group_node":
+            _, shard_id, node_id = op
+            certifier.groups.crash_node(shard_id, node_id)
+        elif kind == "recover_group_node":
+            _, shard_id, node_id = op
+            report = bootstrap_group_node(certifier.groups, shard_id, node_id)
+            assert report.verified, (
+                f"bootstrapped node {node_id} of shard {shard_id} did not "
+                f"reach its peers' frontier"
+            )
         else:  # pragma: no cover - workload generator bug
             raise AssertionError(f"unknown operation {kind!r}")
         core = certifier.core
@@ -226,6 +276,10 @@ def run_crash_schedule(
     # Final sweep: replica state, retained history and the shard maps all
     # agree with the fault-free oracle.
     core = certifier.core
+    if not observer_connected:
+        # Same bootstrap rule as the first poll (see above).
+        oracle_seen = max(oracle_seen, oracle.log.pruned_version)
+        sharded_seen = oracle_seen
     oracle_seen = _apply(
         oracle_state, oracle.fetch_remote_writesets(oracle_seen, replica="observer"),
         oracle_seen)

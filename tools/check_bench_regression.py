@@ -72,6 +72,23 @@ GUARDS: tuple[Guard, ...] = (
           ("scenario",), "certifications_per_sec", "higher"),
     Guard("BENCH_recovery.json", "results",
           ("scenario",), "recovery_lag_ms", "lower"),
+    # Deterministic modeled recovery table (Section 9.6 calibration): the
+    # classic whole-log transfer and its snapshot-plus-suffix decomposition.
+    Guard("BENCH_recovery_times.json", "results",
+          ("downtime_h",), "certifier_transfer_s", "lower"),
+    Guard("BENCH_recovery_times.json", "results",
+          ("downtime_h",), "certifier_bootstrap_s", "lower"),
+    Guard("BENCH_recovery_times.json", "results",
+          ("downtime_h",), "writeset_replay_s", "lower"),
+    # Deterministic functional bootstrap: state-transfer time must keep
+    # scaling with retained state (suffix + snapshot), never with the full
+    # history, and compaction must keep the per-node log bounded.
+    Guard("BENCH_bootstrap.json", "results",
+          ("history", "headroom"), "modeled_bootstrap_ms", "lower"),
+    Guard("BENCH_bootstrap.json", "results",
+          ("history", "headroom"), "failover_window_ms", "lower"),
+    Guard("BENCH_bootstrap.json", "results",
+          ("history", "headroom"), "max_node_log_entries", "lower"),
     # Wall-clock micro-benchmarks: guard the machine-independent ratios,
     # loosely (indexed-vs-scan stays >10x even at 60% tolerance; a lost
     # index is a ~100x collapse and still fails loudly).
