@@ -113,6 +113,20 @@ BOOTSTRAP_HEADROOMS = tuple(
         "REPRO_BENCH_BOOTSTRAP_HEADROOMS", "0,8").split(",")
 )
 
+#: MVCC vacuum benchmark axes (test_mvcc_vacuum.py): sustained group-apply
+#: history lengths (committed versions), the wall-clock window of each read
+#: throughput measurement, and the chain lengths of the row-layout
+#: micro-benchmark.  The chain-length / retained-row metrics are
+#: deterministic (they depend only on the axes); the read/install
+#: throughputs are wall-clock, so only their on/off *ratios* are guarded.
+MVCC_HISTORIES = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_MVCC_HISTORIES", "2000,8000").split(",")
+)
+MVCC_MEASURE_SECONDS = float(os.environ.get("REPRO_BENCH_MVCC_SECONDS", "0.25"))
+MVCC_CHAIN_LENGTHS = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_MVCC_CHAIN_LENS", "512,2048").split(",")
+)
+
 #: The four curves of the throughput/response figures.
 FIGURE_SYSTEMS = (
     SystemKind.BASE,

@@ -215,6 +215,15 @@ class ReplicationConfig:
     #: to the frontier — at the cost of more frequent backfills for laggards;
     #: the knob makes snapshot cadence vs. retained-suffix length sweepable.
     certifier_gc_headroom: int | None = None
+    #: Cadence of the background maintenance janitor (milliseconds between
+    #: runs).  Each run vacuums replica version chains down to the
+    #: certifier's replica low-water mark and drives certifier GC/compaction.
+    #: ``None`` (the default) disables the janitor — the seed behaviour,
+    #: where vacuum only happens when called explicitly.
+    vacuum_interval_ms: float | None = None
+    #: Row-visit budget of one incremental vacuum pass (the janitor's
+    #: batching knob; bounds the pause a maintenance pass can inflict).
+    vacuum_batch_rows: int = 4096
     rng_seed: int = 20060418  # EuroSys 2006 conference date.
 
     def __post_init__(self) -> None:
@@ -242,6 +251,10 @@ class ReplicationConfig:
             raise ConfigurationError("certifier_max_flush_batch must be >= 1 or None")
         if self.certifier_gc_headroom is not None and self.certifier_gc_headroom < 0:
             raise ConfigurationError("certifier_gc_headroom must be >= 0 or None")
+        if self.vacuum_interval_ms is not None and self.vacuum_interval_ms <= 0:
+            raise ConfigurationError("vacuum_interval_ms must be positive or None")
+        if self.vacuum_batch_rows < 1:
+            raise ConfigurationError("vacuum_batch_rows must be >= 1")
         validate_certifier_crash_schedule(self.certifier_crash_schedule,
                                           self.certifier_shards)
 

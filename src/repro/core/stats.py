@@ -142,6 +142,95 @@ class CertifierServiceStats:
         return stats
 
 
+@dataclass
+class MvccStats:
+    """Snapshot of the MVCC storage counters (one table or a whole database).
+
+    Counter fields are additive under :meth:`merge`; the gauges describing
+    current state (live rows, dead-version candidates, histogram buckets)
+    also add — each table owns disjoint rows — while ``max_chain_length``
+    takes the maximum.  ``chain_histogram`` maps chain length to the number
+    of rows currently holding that many versions, the bounded-chains
+    evidence the vacuum benchmark records.
+    """
+
+    versions_installed: int = 0
+    versions_reclaimed: int = 0
+    rows_dropped: int = 0
+    vacuum_runs: int = 0
+    vacuum_rows_visited: int = 0
+    live_rows: int = 0
+    dead_candidates: int = 0
+    max_chain_length: int = 0
+    chain_histogram: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "MvccStats") -> "MvccStats":
+        """Fold another snapshot into this one (in place); returns self."""
+        self.versions_installed += other.versions_installed
+        self.versions_reclaimed += other.versions_reclaimed
+        self.rows_dropped += other.rows_dropped
+        self.vacuum_runs += other.vacuum_runs
+        self.vacuum_rows_visited += other.vacuum_rows_visited
+        self.live_rows += other.live_rows
+        self.dead_candidates += other.dead_candidates
+        self.max_chain_length = max(self.max_chain_length, other.max_chain_length)
+        for length, rows in other.chain_histogram.items():
+            self.chain_histogram[length] = self.chain_histogram.get(length, 0) + rows
+        return self
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "versions_installed": self.versions_installed,
+            "versions_reclaimed": self.versions_reclaimed,
+            "rows_dropped": self.rows_dropped,
+            "vacuum_runs": self.vacuum_runs,
+            "vacuum_rows_visited": self.vacuum_rows_visited,
+            "live_rows": self.live_rows,
+            "dead_candidates": self.dead_candidates,
+            "max_chain_length": self.max_chain_length,
+            "chain_histogram": dict(sorted(self.chain_histogram.items())),
+        }
+
+
+@dataclass
+class JanitorStats:
+    """Snapshot of one maintenance janitor (or several, merged).
+
+    All fields are additive counters; ``last_horizon`` takes the maximum
+    (it is a position in the shared version space).
+    """
+
+    runs: int = 0
+    vacuum_passes: int = 0
+    versions_reclaimed: int = 0
+    rows_visited: int = 0
+    certifier_gc_runs: int = 0
+    certifier_records_pruned: int = 0
+    last_horizon: int = 0
+
+    def merge(self, other: "JanitorStats") -> "JanitorStats":
+        """Fold another snapshot into this one (in place); returns self."""
+        self.runs += other.runs
+        self.vacuum_passes += other.vacuum_passes
+        self.versions_reclaimed += other.versions_reclaimed
+        self.rows_visited += other.rows_visited
+        self.certifier_gc_runs += other.certifier_gc_runs
+        self.certifier_records_pruned += other.certifier_records_pruned
+        self.last_horizon = max(self.last_horizon, other.last_horizon)
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "runs": self.runs,
+            "vacuum_passes": self.vacuum_passes,
+            "versions_reclaimed": self.versions_reclaimed,
+            "rows_visited": self.rows_visited,
+            "certifier_gc_runs": self.certifier_gc_runs,
+            "certifier_records_pruned": self.certifier_records_pruned,
+            "last_horizon": self.last_horizon,
+        }
+
+
 def merged_group_commit_stats(parts: "list[GroupCommitStats]") -> GroupCommitStats:
     """Combine several batching aggregates into a fresh one (never in place)."""
     merged = GroupCommitStats()

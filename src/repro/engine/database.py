@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Mapping
 
 from repro.core.ordering import CommitSequencer
+from repro.core.stats import MvccStats
 from repro.core.versions import VersionClock
 from repro.core.writeset import WriteOp, WriteSet
 from repro.engine.checkpoint import Checkpoint
@@ -77,6 +78,8 @@ class Database:
         self.forced_aborts = 0
         self.remote_batches_applied = 0
         self.remote_writesets_applied = 0
+        self.vacuum_runs = 0
+        self.last_vacuum_horizon = 0
 
     # ------------------------------------------------------------------ schema
 
@@ -176,17 +179,34 @@ class Database:
     def insert(self, txn: EngineTransaction, table_name: str, key: object,
                **values: object) -> None:
         """Insert a row (buffered until commit)."""
-        self._require_known(txn)
-        table = self.table(table_name)
-        row_values = dict(values)
-        row_values.setdefault(table.schema.primary_key, key)
-        table.schema.validate_values(row_values, partial=False)
-        self._acquire_write_lock(txn, table_name, key)
-        txn.buffer_insert(table_name, key, row_values)
+        self._buffer_insert(txn, table_name, key, values)
 
     def update(self, txn: EngineTransaction, table_name: str, key: object,
                **values: object) -> None:
         """Update columns of a row (buffered until commit)."""
+        self._buffer_update(txn, table_name, key, values)
+
+    def _buffer_insert(self, txn: EngineTransaction, table_name: str, key: object,
+                       values: Mapping[str, object]) -> None:
+        """Mapping-taking insert path shared with the remote-apply fast path.
+
+        ``values`` is buffered by reference when it already carries the
+        primary key (remote writesets always do — extraction captures the
+        full row), so applying a certified writeset clones nothing.
+        """
+        self._require_known(txn)
+        table = self.table(table_name)
+        if table.schema.primary_key not in values:
+            row_values = dict(values)
+            row_values[table.schema.primary_key] = key
+            values = row_values
+        table.schema.validate_values(values, partial=False)
+        self._acquire_write_lock(txn, table_name, key)
+        txn.buffer_insert(table_name, key, values)
+
+    def _buffer_update(self, txn: EngineTransaction, table_name: str, key: object,
+                       values: Mapping[str, object]) -> None:
+        """Mapping-taking update path shared with the remote-apply fast path."""
         self._require_known(txn)
         table = self.table(table_name)
         table.schema.validate_values(values, partial=True)
@@ -354,9 +374,9 @@ class Database:
         try:
             for item in writeset:
                 if item.op is WriteOp.INSERT:
-                    self.insert(txn, item.table, item.key, **dict(item.values))
+                    self._buffer_insert(txn, item.table, item.key, item.values)
                 elif item.op is WriteOp.UPDATE:
-                    self.update(txn, item.table, item.key, **dict(item.values))
+                    self._buffer_update(txn, item.table, item.key, item.values)
                 else:
                     self.delete(txn, item.table, item.key)
         except TransactionAborted:
@@ -489,10 +509,44 @@ class Database:
 
     # ------------------------------------------------------------------ maintenance
 
-    def vacuum(self) -> int:
-        """Garbage-collect row versions no active snapshot can still read."""
+    def vacuum(self, *, replication_horizon: int | None = None,
+               max_rows: int | None = None) -> int:
+        """Garbage-collect row versions no reader can still request.
+
+        The horizon is the *minimum* of the local oldest active snapshot and
+        the supplied ``replication_horizon`` (the certifier's replica
+        low-water mark): a vacuum must never reclaim a version that a lagging
+        replica, a resubscribing replica or a recovering reader could still
+        ask this replica to serve.  ``max_rows`` bounds the candidate rows
+        visited across all tables, making the pass incremental (the
+        maintenance janitor's batching knob).  Returns versions reclaimed.
+        """
         horizon = self.oldest_active_snapshot()
-        return sum(table.vacuum(horizon) for table in self.tables.values())
+        if replication_horizon is not None:
+            horizon = min(horizon, replication_horizon)
+        self.last_vacuum_horizon = horizon
+        reclaimed = 0
+        budget = max_rows
+        for table in self.tables.values():
+            if budget is not None and budget <= 0:
+                break
+            visited_before = table.vacuum_rows_visited
+            reclaimed += table.vacuum(horizon, max_rows=budget)
+            if budget is not None:
+                budget -= table.vacuum_rows_visited - visited_before
+        self.vacuum_runs += 1
+        return reclaimed
+
+    def mvcc_stats(self, *, include_chains: bool = True) -> "MvccStats":
+        """Typed MVCC snapshot aggregated over all tables."""
+        stats = MvccStats()
+        for table in self.tables.values():
+            stats.merge(table.mvcc_stats(include_chains=include_chains))
+        return stats
+
+    def dead_candidate_count(self) -> int:
+        """Rows the next vacuum pass would consider, across all tables."""
+        return sum(table.dead_candidate_count() for table in self.tables.values())
 
     def row_count(self) -> int:
         return sum(len(table) for table in self.tables.values())
@@ -511,6 +565,11 @@ class Database:
             "records_per_sync": self.wal.records_per_sync,
             "active_transactions": len(self._active),
             "tables": {name: len(table) for name, table in self.tables.items()},
+            "vacuum_runs": self.vacuum_runs,
+            "last_vacuum_horizon": self.last_vacuum_horizon,
+            # Counters only; the O(rows) chain histogram stays opt-in via
+            # Database.mvcc_stats(include_chains=True).
+            "mvcc": self.mvcc_stats(include_chains=False).as_dict(),
         }
 
     # ------------------------------------------------------------------ helpers

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
+from repro.core.stats import MvccStats
 from repro.engine.rows import RowVersion, VersionedRow
 from repro.errors import DuplicateKeyError, StorageError
 
@@ -61,6 +62,16 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._rows: dict[object, VersionedRow] = {}
+        # Dead-version candidate index: the keys whose chains could yield
+        # something to a future vacuum (superseded history or a deleted
+        # head).  A dict doubles as an insertion-ordered set, keeping
+        # incremental vacuum deterministic under a row-visit budget.
+        self._dead_candidates: dict[object, None] = {}
+        self.versions_installed = 0
+        self.versions_reclaimed = 0
+        self.rows_dropped = 0
+        self.vacuum_runs = 0
+        self.vacuum_rows_visited = 0
 
     @property
     def name(self) -> str:
@@ -80,7 +91,10 @@ class Table:
         if row is None:
             row = VersionedRow(key)
             self._rows[key] = row
-        row.install(RowVersion(created_version=commit_version, values=dict(values)))
+        # Committed values are immutable from here on: install by reference
+        # (no dict copy on the hot remote-apply path); reads copy on exit.
+        row.install(RowVersion(created_version=commit_version, values=values))
+        self._note_installed(key, row)
 
     def install_update(self, key: object, values: Mapping[str, object],
                        commit_version: int) -> None:
@@ -98,10 +112,12 @@ class Table:
                 row = VersionedRow(key)
                 self._rows[key] = row
             row.install(RowVersion(created_version=commit_version, values=base))
+            self._note_installed(key, row)
             return
         merged = dict(latest.values)
         merged.update(values)
         row.install(RowVersion(created_version=commit_version, values=merged))
+        self._note_installed(key, row)
 
     def install_delete(self, key: object, commit_version: int) -> None:
         """Install a committed delete."""
@@ -112,6 +128,12 @@ class Table:
         if row.latest().deleted_version is not None:
             return
         row.delete(commit_version)
+        self._dead_candidates[key] = None
+
+    def _note_installed(self, key: object, row: VersionedRow) -> None:
+        self.versions_installed += 1
+        if row.has_reclaimable_potential:
+            self._dead_candidates[key] = None
 
     # -- snapshot reads -------------------------------------------------------
 
@@ -148,9 +170,66 @@ class Table:
 
     # -- maintenance ----------------------------------------------------------
 
-    def vacuum(self, oldest_active_snapshot: int) -> int:
-        """Garbage-collect row versions no active snapshot can see."""
-        return sum(row.vacuum(oldest_active_snapshot) for row in self._rows.values())
+    def vacuum(self, oldest_active_snapshot: int, *,
+               max_rows: int | None = None) -> int:
+        """Garbage-collect row versions no active snapshot can see.
+
+        Incremental: only rows in the dead-version candidate index are
+        visited (never the whole table), and at most ``max_rows`` of them
+        per call.  Rows still holding reclaimable history above the horizon
+        stay in the index for the next pass; rows whose entire chain died
+        are dropped from the key map so churned keys do not accumulate.
+        Returns the number of versions reclaimed.
+        """
+        removed = 0
+        visited = 0
+        retained: list[object] = []
+        candidates = self._dead_candidates
+        while candidates and (max_rows is None or visited < max_rows):
+            key, _ = candidates.popitem()
+            row = self._rows.get(key)
+            if row is None:
+                continue
+            visited += 1
+            removed += row.vacuum(oldest_active_snapshot)
+            if row.version_count() == 0:
+                del self._rows[key]
+                self.rows_dropped += 1
+            elif row.has_reclaimable_potential:
+                retained.append(key)
+        for key in retained:
+            candidates[key] = None
+        self.vacuum_runs += 1
+        self.vacuum_rows_visited += visited
+        self.versions_reclaimed += removed
+        return removed
+
+    def dead_candidate_count(self) -> int:
+        """Rows the next vacuum pass would consider (candidate-index size)."""
+        return len(self._dead_candidates)
+
+    def mvcc_stats(self, *, include_chains: bool = True) -> MvccStats:
+        """Typed MVCC snapshot for this table.
+
+        ``include_chains=False`` skips the O(rows) chain-length histogram
+        and reports counters and gauges only.
+        """
+        stats = MvccStats(
+            versions_installed=self.versions_installed,
+            versions_reclaimed=self.versions_reclaimed,
+            rows_dropped=self.rows_dropped,
+            vacuum_runs=self.vacuum_runs,
+            vacuum_rows_visited=self.vacuum_rows_visited,
+            live_rows=len(self._rows),
+            dead_candidates=len(self._dead_candidates),
+        )
+        if include_chains:
+            for row in self._rows.values():
+                length = row.version_count()
+                stats.max_chain_length = max(stats.max_chain_length, length)
+                stats.chain_histogram[length] = (
+                    stats.chain_histogram.get(length, 0) + 1)
+        return stats
 
     def snapshot_state(self, snapshot_version: int) -> dict[object, dict[str, object]]:
         """Materialise the table contents at ``snapshot_version`` (for dumps)."""

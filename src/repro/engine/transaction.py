@@ -29,7 +29,9 @@ class TransactionStatus(str, enum.Enum):
 @dataclass
 class _BufferedWrite:
     op: WriteOp
-    values: dict[str, object] = field(default_factory=dict)
+    #: Stored by reference and only ever *rebound* (never mutated in place),
+    #: so the same mapping can safely back the emitted WriteItem.
+    values: Mapping[str, object] = field(default_factory=dict)
     deleted: bool = False
 
 
@@ -69,14 +71,20 @@ class EngineTransaction:
     # -- buffered writes ---------------------------------------------------------
 
     def buffer_insert(self, table: str, key: object, values: Mapping[str, object]) -> WriteItem:
+        """Buffer an insert.  ``values`` ownership passes to the transaction:
+        the mapping is stored by reference (the buffer never mutates it in
+        place — re-updates rebind to a fresh merged dict), so callers on the
+        hot apply path can hand over committed writeset values without cloning.
+        """
         self._require_active()
-        write = _BufferedWrite(op=WriteOp.INSERT, values=dict(values))
+        write = _BufferedWrite(op=WriteOp.INSERT, values=values)
         self._writes[(table, key)] = write
-        item = WriteItem(table=table, key=key, op=WriteOp.INSERT, values=dict(values))
+        item = WriteItem(table=table, key=key, op=WriteOp.INSERT, values=values)
         self._write_order.append(item)
         return item
 
     def buffer_update(self, table: str, key: object, values: Mapping[str, object]) -> WriteItem:
+        """Buffer an update (same by-reference ownership as :meth:`buffer_insert`)."""
         self._require_active()
         existing = self._writes.get((table, key))
         if existing is not None and not existing.deleted:
@@ -86,12 +94,12 @@ class EngineTransaction:
             existing.deleted = False
             if existing.op is WriteOp.INSERT:
                 # An update on top of our own insert stays an insert.
-                item = WriteItem(table=table, key=key, op=WriteOp.INSERT, values=dict(merged))
+                item = WriteItem(table=table, key=key, op=WriteOp.INSERT, values=merged)
             else:
-                item = WriteItem(table=table, key=key, op=WriteOp.UPDATE, values=dict(values))
+                item = WriteItem(table=table, key=key, op=WriteOp.UPDATE, values=values)
         else:
-            self._writes[(table, key)] = _BufferedWrite(op=WriteOp.UPDATE, values=dict(values))
-            item = WriteItem(table=table, key=key, op=WriteOp.UPDATE, values=dict(values))
+            self._writes[(table, key)] = _BufferedWrite(op=WriteOp.UPDATE, values=values)
+            item = WriteItem(table=table, key=key, op=WriteOp.UPDATE, values=values)
         self._write_order.append(item)
         return item
 
@@ -147,7 +155,7 @@ class EngineTransaction:
                         table=item.table,
                         key=item.key,
                         op=final.op,
-                        values=dict(final.values),
+                        values=final.values,
                     )
                 )
         return writeset

@@ -164,6 +164,21 @@ class CertifierService:
         """Prune the durable log prefix below the replicas' low-water mark."""
         return self.core.collect_garbage(headroom=self.config.gc_headroom_versions)
 
+    def replication_horizon(self) -> int:
+        """Highest version every subscribed replica has already applied.
+
+        This is the replica low-water mark minus the GC headroom — the same
+        retention boundary log GC prunes to — and is what replicas feed into
+        ``Database.vacuum(replication_horizon=...)``: versions at or below
+        it can never again be requested by a lagging or resubscribing
+        replica.  Conservatively 0 while no replica has reported (an unknown
+        fleet pins the horizon, exactly like it pins log GC).
+        """
+        low_water = self.core.low_water_mark()
+        if low_water is None:
+            return 0
+        return max(0, low_water - self.config.gc_headroom_versions)
+
     # -- durability ---------------------------------------------------------------
 
     def flush(self) -> int:

@@ -437,10 +437,10 @@ class TransparentProxy:
         self.subscription.advance_to(self.replica_version.version)
         remote = self.subscription.poll_flat()
         self.stats.staleness_refreshes += 1
-        # Report the applied watermark even when nothing new arrived, so a
-        # read-mostly replica keeps feeding the certifier's log-GC protocol.
-        self.certifier.register_replica(self.replica_name, self.replica_version.version)
         if not remote:
+            # Report the applied watermark even when nothing new arrived, so a
+            # read-mostly replica keeps feeding the certifier's log-GC protocol.
+            self.certifier.register_replica(self.replica_name, self.replica_version.version)
             return 0
         if self.system.supports_ordered_commit:
             # Ask the certifier to extend the intersection tests back to this
@@ -451,8 +451,15 @@ class TransparentProxy:
                 remote, self.replica_version.version
             )
             plan = self.conflict_detector.plan(remote, self.replica_version.version)
-            return self._apply_plan(plan, local_txn=None, local_version=None)
-        return self._apply_remote_serial(remote)
+            applied = self._apply_plan(plan, local_txn=None, local_version=None)
+        else:
+            applied = self._apply_remote_serial(remote)
+        # The watermark report happens *after* the batch is applied — a
+        # refresh-only replica must feed its post-apply version to the
+        # certifier's low-water protocol, or it pins GC (and the vacuum
+        # replication horizon) at its pre-refresh version forever.
+        self.certifier.register_replica(self.replica_name, self.replica_version.version)
+        return applied
 
     # ------------------------------------------------------------------ helpers
 

@@ -31,6 +31,8 @@ class ReplicaStats:
     #: from :attr:`refreshes` so staleness metrics reflect genuine catch-up
     #: work rather than timer firings.
     noop_refreshes: int = 0
+    #: Horizon-clamped vacuum passes run through :meth:`Replica.vacuum`.
+    vacuum_passes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -92,6 +94,23 @@ class Replica:
         else:
             self.stats.noop_refreshes += 1
         return applied
+
+    # -- storage maintenance -----------------------------------------------------------
+
+    def vacuum(self, *, max_rows: int | None = None) -> int:
+        """Vacuum the replica's version chains, clamped to the safe horizon.
+
+        The horizon is ``min(local oldest active snapshot, certifier
+        replication horizon)``: the certifier's replica low-water mark
+        (minus GC headroom) bounds what any lagging or resubscribing replica
+        could still request, so nothing a remote reader needs is reclaimed.
+        Returns the number of versions reclaimed.
+        """
+        self.stats.vacuum_passes += 1
+        return self.database.vacuum(
+            replication_horizon=self.proxy.certifier.replication_horizon(),
+            max_rows=max_rows,
+        )
 
     # -- schema management ---------------------------------------------------------------
 

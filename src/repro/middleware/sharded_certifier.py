@@ -139,6 +139,15 @@ class ShardedCertifierService:
         """Prune the directory and every shard log below the low-water mark."""
         return self.core.collect_garbage(headroom=self.config.gc_headroom_versions)
 
+    def replication_horizon(self) -> int:
+        """Highest version every subscribed replica has applied, minus the GC
+        headroom — the vacuum horizon replicas may safely reclaim below (see
+        :meth:`CertifierService.replication_horizon`)."""
+        low_water = self.core.low_water_mark()
+        if low_water is None:
+            return 0
+        return max(0, low_water - self.config.gc_headroom_versions)
+
     # -- durability ---------------------------------------------------------------
 
     def flush(self, shard_ids: list[int] | None = None) -> int:

@@ -17,6 +17,7 @@ control and health-aware fallback; see ``docs/scheduler.md``).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
@@ -32,6 +33,7 @@ from repro.engine.table import TableSchema
 from repro.errors import ConfigurationError
 from repro.middleware.certifier import CertifierConfig, CertifierService
 from repro.middleware.client_api import ClientSession
+from repro.middleware.janitor import JanitorPolicy, MaintenanceJanitor
 from repro.middleware.replica import Replica
 from repro.middleware.sharded_certifier import (
     ShardedCertifierService,
@@ -55,6 +57,8 @@ class ReplicatedSystem:
     config: ReplicationConfig
     certifier: CertifierService | ShardedCertifierService
     replicas: list[Replica] = field(default_factory=list)
+    #: Lazily built by :meth:`janitor` / :meth:`run_maintenance`.
+    _janitor: MaintenanceJanitor | None = field(default=None, repr=False)
 
     # -- schema / data management ------------------------------------------------
 
@@ -150,6 +154,50 @@ class ReplicatedSystem:
         """Run the bounded-staleness refresh on every replica."""
         return sum(replica.refresh() for replica in self.replicas)
 
+    def janitor(self, policy: JanitorPolicy | None = None) -> MaintenanceJanitor:
+        """The system's maintenance janitor (built on first use).
+
+        Without an explicit ``policy`` the knobs come from the system config
+        (``vacuum_interval_ms`` — defaulting to 250 ms when the config left
+        the janitor off but a caller asks for one anyway — and
+        ``vacuum_batch_rows``).  The functional stack has no background
+        threads: drive the janitor explicitly via :meth:`run_maintenance`
+        (cadence-aware) or ``janitor().run_once()`` (unconditional), exactly
+        like ``refresh_all`` drives the staleness timer.
+        """
+        if policy is not None:
+            self._janitor = None
+        if self._janitor is None:
+            if policy is None:
+                policy = JanitorPolicy(
+                    vacuum_interval_ms=self.config.vacuum_interval_ms or 250.0,
+                    vacuum_batch_rows=self.config.vacuum_batch_rows,
+                )
+            self._janitor = MaintenanceJanitor(
+                [replica.database for replica in self.replicas],
+                replication_horizon=self.certifier.replication_horizon,
+                certifier_gc=self.certifier.collect_garbage,
+                policy=policy,
+            )
+        return self._janitor
+
+    def run_maintenance(self, now_ms: float | None = None) -> bool:
+        """Drive the janitor: vacuum all replicas + certifier GC.
+
+        With ``now_ms`` the janitor's cadence decides whether the run is due
+        (call this from the deployment's clock loop); without it the run is
+        unconditional.  Returns whether maintenance ran.
+        """
+        janitor = self.janitor()
+        if now_ms is None:
+            janitor.run_once()
+            return True
+        return janitor.maybe_run(now_ms)
+
+    def vacuum_all(self, *, max_rows: int | None = None) -> int:
+        """One horizon-clamped vacuum pass on every replica (no certifier GC)."""
+        return sum(replica.vacuum(max_rows=max_rows) for replica in self.replicas)
+
     def checkpoint_all(self) -> None:
         """Take a Tashkent-MW recovery checkpoint on every replica."""
         for replica in self.replicas:
@@ -192,13 +240,16 @@ class ReplicatedSystem:
         }
 
     def stats(self) -> dict[str, object]:
-        return {
+        stats: dict[str, object] = {
             "system": self.config.system.value,
             "num_replicas": len(self.replicas),
             "certifier": self.certifier.stats(),
             "replicas": [replica.stats_snapshot() for replica in self.replicas],
             "fsyncs": self.total_fsyncs(),
         }
+        if self._janitor is not None:
+            stats["janitor"] = self._janitor.stats.as_dict()
+        return stats
 
     def __repr__(self) -> str:
         return (
@@ -216,14 +267,17 @@ def build_replicated_system(config: ReplicationConfig) -> ReplicatedSystem:
         raise ConfigurationError(
             "use repro.engine.Database directly for a standalone database"
         )
-    certifier = make_certifier_service(
-        CertifierConfig(
-            durability_enabled=config.system.durability_in_certifier,
-            forced_abort_rate=config.forced_abort_rate,
-            rng_seed=config.rng_seed,
-            shards=config.certifier_shards,
-        )
+    certifier_config = CertifierConfig(
+        durability_enabled=config.system.durability_in_certifier,
+        forced_abort_rate=config.forced_abort_rate,
+        rng_seed=config.rng_seed,
+        shards=config.certifier_shards,
     )
+    if config.certifier_gc_headroom is not None:
+        certifier_config = dataclasses.replace(
+            certifier_config, gc_headroom_versions=config.certifier_gc_headroom
+        )
+    certifier = make_certifier_service(certifier_config)
     system = ReplicatedSystem(config=config, certifier=certifier)
     for index in range(config.num_replicas):
         name = f"replica-{index}"

@@ -98,6 +98,19 @@ GUARDS: tuple[Guard, ...] = (
           ("policy", "replicas"), "fsyncs_per_writeset", "lower"),
     Guard("BENCH_propagation.json", "results",
           ("policy", "replicas"), "mean_batch_size", "higher", tolerance=0.6),
+    # MVCC vacuum: the structure metrics are deterministic functions of the
+    # benchmark axes (chain length and retained rows after maintenance must
+    # not creep up); the scan and install speedups are wall-clock ratios,
+    # guarded loosely — losing the vacuum or the O(1) install layout is an
+    # order-of-magnitude collapse and still fails at 60%.
+    Guard("BENCH_mvcc_vacuum.json", "sustained",
+          ("history",), "max_chain_on", "lower"),
+    Guard("BENCH_mvcc_vacuum.json", "sustained",
+          ("history",), "retained_rows_on", "lower"),
+    Guard("BENCH_mvcc_vacuum.json", "sustained",
+          ("history",), "read_speedup", "higher", tolerance=0.6),
+    Guard("BENCH_mvcc_vacuum.json", "layout",
+          ("chain_length",), "install_speedup", "higher", tolerance=0.6),
 )
 
 
