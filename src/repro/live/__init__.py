@@ -1,0 +1,43 @@
+"""Live multi-process backend: real nodes, real sockets, real fsyncs, kill -9.
+
+The third executable form of the replicated system (functional | sim |
+**live**): one OS process per certifier shard, scheduler and replica,
+talking length-prefixed JSON over asyncio TCP, with commit durability gated
+on ``os.fsync`` in a separate shard process.  See ``docs/deployment.md``.
+"""
+
+from repro.live.harness import HarnessError, NodeHandle, ProcessHarness, READY_PREFIX
+from repro.live.wire import (
+    ConnectionLost,
+    FrameTooLarge,
+    RemoteCallError,
+    WireClient,
+    WireError,
+)
+
+__all__ = [
+    "READY_PREFIX",
+    "ConnectionLost",
+    "FrameTooLarge",
+    "HarnessError",
+    "NodeHandle",
+    "ProcessHarness",
+    "RemoteCallError",
+    "WireClient",
+    "WireError",
+]
+
+
+def __getattr__(name: str):
+    # LiveCluster / LiveSession import middleware (and so the whole engine);
+    # keep the package root importable by the node subprocesses without that
+    # cost until someone actually asks for the driver objects.
+    if name == "LiveCluster":
+        from repro.live.cluster import LiveCluster
+
+        return LiveCluster
+    if name in ("LiveSession", "LiveCertifierClient", "CommitInDoubt"):
+        from repro.live import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

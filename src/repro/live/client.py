@@ -1,0 +1,359 @@
+"""Wire-level clients for the live cluster.
+
+Two callers live here:
+
+:class:`LiveCertifierClient`
+    Runs *inside a replica node process*.  It quacks exactly like the
+    in-process :class:`~repro.middleware.certifier.CertifierService` surface
+    the :class:`~repro.middleware.proxy.TransparentProxy` consumes —
+    ``certify`` / ``subscribe_replica`` / ``flush_propagation`` /
+    ``register_replica`` / ``extend_remote_horizons`` /
+    ``replication_horizon`` — but every call is a framed round trip to the
+    scheduler process.  A commit's certification carries the client-supplied
+    transaction id (``next_tx_id``), which the scheduler uses for its
+    exactly-once table; the call itself retries through scheduler outages,
+    which is safe precisely because of that table.
+
+:class:`LiveSession`
+    Runs *in the driver process* (a test, a benchmark, the CLI) and mirrors
+    the :class:`~repro.middleware.client_api.ClientSession` API over the
+    wire, so the unmodified workload definitions (``workload.setup(session)``
+    / ``workload.run_transaction(session, ...)``) drive real replica
+    processes.  Its commit path implements the client half of the
+    exactly-once protocol: every commit gets a fresh
+    ``"<client>:<seq>"`` transaction id; if the replica connection dies
+    mid-commit the session raises :class:`CommitInDoubt`, and after the test
+    choreography restarts the replica, :meth:`LiveSession.resolve_commit`
+    asks the scheduler for the transaction's fate — answering *committed*
+    (never re-execute) or *unknown* (safe to re-execute, nothing was
+    admitted).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.certification import CertificationRequest, CertificationResult, RemoteWriteSetInfo
+from repro.errors import ReproError, TransactionAborted
+from repro.live import codec
+from repro.live.wire import ConnectionLost, RemoteCallError, WireClient
+from repro.middleware.proxy import CommitOutcome
+
+
+class CommitInDoubt(ReproError):
+    """The replica connection died mid-commit: the outcome is unresolved.
+
+    Carries the transaction id the commit was tagged with; once the replica
+    (or its replacement) is back, :meth:`LiveSession.resolve_commit` turns
+    this into a definite outcome or a licence to re-execute.
+    """
+
+    def __init__(self, tx_id: str, cause: Exception) -> None:
+        super().__init__(f"commit {tx_id} in doubt: {cause}")
+        self.tx_id = tx_id
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# replica-side certifier client
+# ---------------------------------------------------------------------------
+
+
+class LiveSubscription:
+    """The proxy-facing view of a server-side writeset subscription.
+
+    The real :class:`WritesetSubscription` lives in the scheduler process
+    (created by ``hello_replica``); this object just carries the cursor ops
+    the proxy performs — ``advance_to`` is buffered and shipped with the next
+    ``poll_flat`` so a refresh costs one round trip, not two.
+    """
+
+    def __init__(self, client: WireClient, replica: str) -> None:
+        self._client = client
+        self.replica = replica
+        self._advance_to = 0
+
+    def advance_to(self, version: int) -> None:
+        self._advance_to = max(self._advance_to, version)
+
+    def poll_flat(self) -> list[RemoteWriteSetInfo]:
+        response = self._client.call_retrying(
+            "poll_writesets", replica=self.replica, advance_to=self._advance_to,
+        )
+        return [codec.decode_remote_info(i) for i in response["writesets"]]
+
+    @property
+    def pending_writesets(self) -> int:
+        # Pending batches queue server-side; the proxy only uses this for
+        # stats, where "nothing buffered locally" is the truthful answer.
+        return 0
+
+
+class LiveCertifierClient:
+    """``CertifierService`` duck-type whose backend is the scheduler process."""
+
+    def __init__(self, host: str, port: int, *, replica_name: str,
+                 attempt_timeout_s: float = 10.0) -> None:
+        self.replica_name = replica_name
+        self._client = WireClient(host, port, timeout=attempt_timeout_s,
+                                  name=f"certifier-{replica_name}")
+        #: Set by the replica node around a client commit: the exactly-once
+        #: transaction id that rides down with the next ``certify``.
+        self.next_tx_id: str | None = None
+
+    # -- CertifierService surface (what TransparentProxy + Replica call) ------
+
+    def certify(self, request: CertificationRequest) -> CertificationResult:
+        fields: dict[str, object] = {"request": codec.encode_request(request)}
+        if self.next_tx_id is not None:
+            fields["tx_id"] = self.next_tx_id
+        # Retrying is safe: with a tx_id the scheduler's exactly-once table
+        # answers duplicates from the record; without one the transaction
+        # never left this process, so a resend is the first delivery.
+        response = self._client.call_retrying("certify", **fields)
+        return codec.decode_result(response["result"])
+
+    def subscribe_replica(self, replica: str, from_version: int = 0) -> LiveSubscription:
+        self._client.call_retrying("hello_replica", replica=replica,
+                                   from_version=from_version)
+        return LiveSubscription(self._client, replica)
+
+    def flush_propagation(self) -> None:
+        self._client.call_retrying("flush_propagation")
+
+    def register_replica(self, replica: str, version: int = 0) -> None:
+        self._client.call_retrying("register_replica", replica=replica, version=version)
+
+    def extend_remote_horizons(self, infos: list[RemoteWriteSetInfo],
+                               back_to: int) -> list[RemoteWriteSetInfo]:
+        response = self._client.call_retrying(
+            "extend_remote_horizons",
+            infos=[codec.encode_remote_info(i) for i in infos], back_to=back_to,
+        )
+        return [codec.decode_remote_info(i) for i in response["infos"]]
+
+    def replication_horizon(self) -> int:
+        return self._client.call_retrying("replication_horizon")["horizon"]
+
+    def collect_garbage(self) -> int:
+        return self._client.call_retrying("collect_garbage")["pruned"]
+
+    @property
+    def system_version(self) -> int:
+        return self._client.call_retrying("system_version")["version"]
+
+    def close(self) -> None:
+        self._client.close()
+
+
+# ---------------------------------------------------------------------------
+# driver-side client session
+# ---------------------------------------------------------------------------
+
+
+class LiveSession:
+    """A :class:`ClientSession` look-alike over the wire.
+
+    The server side holds a real ``ClientSession`` (and so a real proxy
+    transaction); this object holds only the session id, the commit sequence
+    for transaction ids, and the scheduler address for in-doubt resolution.
+    Workload code written against ``ClientSession`` runs against it
+    unchanged.
+    """
+
+    def __init__(self, replica_host: str, replica_port: int,
+                 scheduler_host: str, scheduler_port: int, *,
+                 client_name: str = "client",
+                 attempt_timeout_s: float | None = 30.0) -> None:
+        self.client_name = client_name
+        self._replica = WireClient(replica_host, replica_port,
+                                   timeout=attempt_timeout_s, name=client_name)
+        self._scheduler = WireClient(scheduler_host, scheduler_port,
+                                     timeout=attempt_timeout_s,
+                                     name=f"{client_name}-status")
+        self.session_id: int | None = None
+        self.replica_name: str | None = None
+        self.commits = 0
+        self.aborts = 0
+        self.in_doubt_commits = 0
+        self._seq = 0
+        self._in_txn = False
+        self._open()
+
+    def _open(self) -> None:
+        response = self._replica.call("open_session", client_name=self.client_name)
+        self.session_id = response["session_id"]
+        self.replica_name = response["replica"]
+
+    def _call(self, op: str, **fields: object) -> dict:
+        try:
+            return self._replica.call(op, session_id=self.session_id, **fields)
+        except RemoteCallError as exc:
+            if exc.error_type == "TransactionAborted":
+                # The server-side session already dropped its transaction
+                # handle (ClientSession._guarded_write semantics).
+                self._in_txn = False
+                self.aborts += 1
+                raise TransactionAborted(exc.error, reason=exc.reason) from exc
+            raise
+
+    # -- transaction control (ClientSession mirror) ---------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_txn
+
+    def begin(self) -> None:
+        self._call("begin")
+        self._in_txn = True
+
+    def commit(self) -> CommitOutcome:
+        """Commit the open transaction, tagged for exactly-once retry.
+
+        Raises :class:`CommitInDoubt` when the replica vanishes mid-commit —
+        the caller must restart/reconnect and call :meth:`resolve_commit`.
+        """
+        self._seq += 1
+        tx_id = f"{self.client_name}:{self._seq}"
+        self._in_txn = False
+        try:
+            response = self._call("commit", tx_id=tx_id)
+        except ConnectionLost as exc:
+            self.in_doubt_commits += 1
+            raise CommitInDoubt(tx_id, exc) from exc
+        outcome = codec.decode_outcome(response["outcome"])
+        if outcome.committed:
+            self.commits += 1
+        else:
+            self.aborts += 1
+        return outcome
+
+    def abort(self) -> None:
+        self._in_txn = False
+        self._call("abort")
+        self.aborts += 1
+
+    @contextmanager
+    def transaction(self) -> Iterator["LiveSession"]:
+        """Begin, then commit on success / abort on error (ClientSession mirror)."""
+        self.begin()
+        try:
+            yield self
+        except TransactionAborted:
+            if self._in_txn:
+                self.abort()
+            raise
+        except Exception:
+            if self._in_txn:
+                self.abort()
+            raise
+        else:
+            if self._in_txn:
+                self.commit()
+
+    def run_readonly(self, table: str, key: object) -> dict | None:
+        """One-shot read-only transaction."""
+        self.begin()
+        value = self.read(table, key)
+        self.commit()
+        return value
+
+    # -- statement API --------------------------------------------------------
+
+    def read(self, table: str, key: object) -> dict | None:
+        return self._call("read", table=table, key=key)["row"]
+
+    def scan(self, table: str) -> list[tuple[object, dict]]:
+        return [(key, row) for key, row in self._call("scan", table=table)["rows"]]
+
+    def insert(self, table: str, key: object, **values: object) -> None:
+        self._call("insert", table=table, key=key, values=values)
+
+    def update(self, table: str, key: object, **values: object) -> None:
+        self._call("update", table=table, key=key, values=values)
+
+    def delete(self, table: str, key: object) -> None:
+        self._call("delete", table=table, key=key)
+
+    # -- crash recovery -------------------------------------------------------
+
+    def reconnect(self, *, deadline_s: float = 30.0) -> None:
+        """Re-attach to the (restarted) replica with a fresh server session.
+
+        The old server-side session died with the old process; any open
+        transaction is gone with it, which is exactly the semantics a crashed
+        database gives a client.
+        """
+        self._replica.close()
+        deadline = time.monotonic() + deadline_s
+        while True:
+            try:
+                self._open()
+                return
+            except (ConnectionLost, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+
+    def resolve_commit(self, tx_id: str, *, wait_known_s: float = 0.0,
+                       deadline_s: float = 30.0) -> CommitOutcome | None:
+        """Resolve an in-doubt commit against the scheduler's tx table.
+
+        Returns the definite :class:`CommitOutcome` when the transaction was
+        admitted (the client must NOT re-execute it), or ``None`` when the
+        scheduler never saw it (nothing was admitted; re-executing is safe
+        and preserves exactly-once).
+
+        ``wait_known_s`` keeps polling an *unknown* status for that long
+        before concluding ``None``.  Pass a positive wait when the replica
+        that was executing the commit is still alive (e.g. the fault hit a
+        certifier shard): its certification is merely stalled and will be
+        recorded once the shard is back.  When the executing replica itself
+        was killed, nothing can still arrive and ``0.0`` is truthful.
+        """
+        poll_until = time.monotonic() + wait_known_s
+        while True:
+            response = self._scheduler.call_retrying(
+                "commit_status", tx_id=tx_id, deadline_s=deadline_s,
+            )
+            if response["known"]:
+                break
+            if time.monotonic() >= poll_until:
+                return None
+            time.sleep(0.1)
+        outcome = CommitOutcome(
+            committed=response["committed"],
+            readonly=False,
+            commit_version=response["commit_version"],
+            abort_reason=None if response["committed"] else "resolved-abort",
+        )
+        if outcome.committed:
+            self.commits += 1
+        else:
+            self.aborts += 1
+        return outcome
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.session_id is not None and self._replica.connected:
+            try:
+                self._replica.call("close_session", session_id=self.session_id)
+            except (ConnectionLost, RemoteCallError):
+                pass
+        self._replica.close()
+        self._scheduler.close()
+
+    def __enter__(self) -> "LiveSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveSession(client={self.client_name!r}, replica={self.replica_name!r}, "
+            f"commits={self.commits}, aborts={self.aborts})"
+        )

@@ -1,0 +1,256 @@
+"""LiveCluster: the third backend — real processes behind the same config.
+
+The repo now has three executable forms of the replicated system:
+
+==============  ==========================================  ===================
+backend         what runs                                   entry point
+==============  ==========================================  ===================
+functional      in-process objects, synchronous calls       ``build_replicated_system``
+sim             discrete-event model, simulated time        ``repro.cluster.experiment``
+**live**        one OS process per node, asyncio TCP,       ``LiveCluster``
+                real file-backed WAL fsyncs, kill -9-able
+==============  ==========================================  ===================
+
+``LiveCluster`` consumes the *same* :class:`ReplicationConfig` as the
+functional backend and maps it to processes exactly the way
+``build_replicated_system`` maps it to objects: ``certifier_shards`` WAL
+shard processes, one scheduler process hosting the certifier service, and
+``num_replicas`` replica processes named ``replica-0..n-1``.  Table schemas
+(from ``workload.schemas()``) travel to the replica nodes through a spec
+file in the run directory, so the unmodified workload definitions drive the
+cluster through :class:`~repro.live.client.LiveSession`.
+
+Boot order is shards → scheduler → replicas (each tier's addresses are
+discovered from the previous tier's stdout handshakes), teardown is the
+harness context manager (reap + orphan check), and the fault surface —
+``kill_replica`` / ``restart_replica`` / ``kill_shard`` / ``restart_shard``
+— is SIGKILL-based: no shutdown handler ever runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.config import ReplicationConfig
+from repro.engine.table import TableSchema
+from repro.live import codec
+from repro.live.client import LiveSession
+from repro.live.harness import NodeHandle, ProcessHarness
+from repro.live.wire import WireClient
+
+
+class LiveCluster:
+    """A running multi-process replicated system on localhost."""
+
+    def __init__(self, config: ReplicationConfig,
+                 schemas: Sequence[TableSchema] = (), *,
+                 run_dir: str | Path | None = None, keep_dir: bool = False,
+                 replica_args: dict[str, Sequence[str]] | None = None,
+                 shard_args: dict[int, Sequence[str]] | None = None,
+                 ready_timeout_s: float = 30.0) -> None:
+        self.config = config
+        self.schemas = tuple(schemas)
+        self.harness = ProcessHarness(run_dir=run_dir, keep_dir=keep_dir)
+        self._replica_args = {k: list(v) for k, v in (replica_args or {}).items()}
+        self._shard_args = {k: list(v) for k, v in (shard_args or {}).items()}
+        self._ready_timeout_s = ready_timeout_s
+        self.scheduler: NodeHandle | None = None
+        self.shards: list[NodeHandle] = []
+        self.replicas: dict[str, NodeHandle] = {}
+        self._sessions: list[LiveSession] = []
+        self._next_client = 0
+        self._started = False
+
+    # -- boot -----------------------------------------------------------------
+
+    @property
+    def spec_path(self) -> Path:
+        return self.harness.run_dir / "cluster-spec.json"
+
+    def _write_spec(self) -> None:
+        spec = {
+            "system": self.config.system.value,
+            "local_certification": self.config.local_certification,
+            "eager_pre_certification": self.config.eager_pre_certification,
+            "schemas": [
+                {"name": s.name, "columns": list(s.columns), "primary_key": s.primary_key}
+                for s in self.schemas
+            ],
+            # Mirrors build_replicated_system's CertifierConfig mapping.
+            "certifier": {
+                "durability_enabled": self.config.system.durability_in_certifier,
+                "forced_abort_rate": self.config.forced_abort_rate,
+                "rng_seed": self.config.rng_seed,
+                "shards": self.config.certifier_shards,
+                "gc_headroom_versions": self.config.certifier_gc_headroom,
+            },
+        }
+        self.spec_path.write_text(json.dumps(spec, indent=2), encoding="utf-8")
+
+    def start(self) -> "LiveCluster":
+        if self._started:
+            return self
+        self._write_spec()
+        timeout = self._ready_timeout_s
+        for shard_id in range(self.config.certifier_shards):
+            name = f"shard-{shard_id}"
+            self.shards.append(self.harness.spawn(
+                "certifier-shard", name,
+                ["--shard-id", str(shard_id), "--wal", f"{name}.wal",
+                 *self._shard_args.get(shard_id, [])],
+                timeout_s=timeout,
+            ))
+        self.scheduler = self.harness.spawn(
+            "scheduler", "scheduler",
+            ["--spec", str(self.spec_path),
+             *(arg for shard in self.shards
+               for arg in ("--shard", f"127.0.0.1:{shard.port}"))],
+            timeout_s=timeout,
+        )
+        for index in range(self.config.num_replicas):
+            name = f"replica-{index}"
+            self.replicas[name] = self.harness.spawn(
+                "replica", name,
+                ["--spec", str(self.spec_path),
+                 "--scheduler", f"127.0.0.1:{self.scheduler.port}",
+                 *self._replica_args.get(name, [])],
+                timeout_s=timeout,
+            )
+        self._started = True
+        return self
+
+    # -- client sessions ------------------------------------------------------
+
+    def session(self, replica: str = "replica-0", *,
+                client_name: str | None = None,
+                attempt_timeout_s: float | None = 30.0) -> LiveSession:
+        """Open a client session pinned to ``replica`` (the paper's routing)."""
+        node = self.replicas[replica]
+        assert self.scheduler is not None and self.scheduler.port is not None
+        if client_name is None:
+            client_name = f"client-{self._next_client}"
+            self._next_client += 1
+        session = LiveSession(
+            "127.0.0.1", node.port, "127.0.0.1", self.scheduler.port,
+            client_name=client_name, attempt_timeout_s=attempt_timeout_s,
+        )
+        self._sessions.append(session)
+        return session
+
+    def load_initial_data(self, workload, *, replica: str = "replica-0") -> None:
+        """Run ``workload.setup`` through a live session on one replica.
+
+        Refreshes every replica afterwards, mirroring the functional
+        ``ReplicatedSystem.load_initial_data`` so both backends start their
+        measured runs from identical replica versions.
+        """
+        with self.session(replica, client_name="loader") as loader:
+            workload.setup(loader)
+        self.refresh_all()
+
+    # -- cluster-wide control plane -------------------------------------------
+
+    @staticmethod
+    def _unwrap(response: dict) -> dict:
+        response.pop("ok", None)
+        return response
+
+    def _scheduler_call(self, op: str, **fields: object) -> dict:
+        assert self.scheduler is not None and self.scheduler.port is not None
+        with WireClient("127.0.0.1", self.scheduler.port, name="cluster-ctl") as ctl:
+            return self._unwrap(ctl.call(op, **fields))
+
+    def _replica_call(self, replica: str, op: str, **fields: object) -> dict:
+        node = self.replicas[replica]
+        with WireClient("127.0.0.1", node.port, name="cluster-ctl") as ctl:
+            return self._unwrap(ctl.call(op, **fields))
+
+    def refresh_all(self) -> dict[str, int]:
+        """Bounded-staleness refresh on every replica (applied counts)."""
+        return {name: self._replica_call(name, "refresh")["applied"]
+                for name in self.replicas}
+
+    def system_version(self) -> int:
+        return self._scheduler_call("system_version")["version"]
+
+    def replication_horizon(self) -> int:
+        return self._scheduler_call("replication_horizon")["horizon"]
+
+    def collect_garbage(self) -> int:
+        return self._scheduler_call("collect_garbage")["pruned"]
+
+    def scheduler_stats(self) -> dict:
+        return self._scheduler_call("stats")
+
+    def replica_version(self, replica: str) -> int:
+        return self._replica_call(replica, "replica_version")["version"]
+
+    def replica_stats(self, replica: str) -> dict:
+        return self._replica_call(replica, "stats")
+
+    def dump_table(self, replica: str, table: str) -> dict[object, dict[str, object]]:
+        response = self._replica_call(replica, "dump_table", table=table)
+        return codec.decode_table_state(response["state"])
+
+    def shard_wal_stats(self, shard_id: int) -> dict:
+        shard = self.shards[shard_id]
+        with WireClient("127.0.0.1", shard.port, name="cluster-ctl") as ctl:
+            return self._unwrap(ctl.call("wal_stats"))
+
+    def replicas_consistent(self, tables: Iterable[str]) -> bool:
+        """After refreshes, do all replicas hold identical table states?"""
+        names = list(self.replicas)
+        for table in tables:
+            reference = self.dump_table(names[0], table)
+            for name in names[1:]:
+                if self.dump_table(name, table) != reference:
+                    return False
+        return True
+
+    # -- fault surface --------------------------------------------------------
+
+    def kill_replica(self, replica: str) -> None:
+        self.replicas[replica].kill()
+
+    def restart_replica(self, replica: str, *,
+                        drop_args: tuple[str, ...] = ()) -> None:
+        self.replicas[replica].restart(timeout_s=self._ready_timeout_s,
+                                       drop_args=drop_args)
+
+    def kill_shard(self, shard_id: int) -> None:
+        self.shards[shard_id].kill()
+
+    def restart_shard(self, shard_id: int, *,
+                      drop_args: tuple[str, ...] = ()) -> None:
+        self.shards[shard_id].restart(timeout_s=self._ready_timeout_s,
+                                      drop_args=drop_args)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        for session in self._sessions:
+            try:
+                session.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+        self._sessions.clear()
+
+    def __enter__(self) -> "LiveCluster":
+        self.harness.__enter__()
+        try:
+            return self.start()
+        except BaseException:
+            self.harness.__exit__(None, None, None)
+            raise
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        self.harness.__exit__(*exc)
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveCluster(replicas={len(self.replicas)}, "
+            f"shards={len(self.shards)}, started={self._started})"
+        )

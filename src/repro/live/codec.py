@@ -1,0 +1,159 @@
+"""JSON codecs for the middleware objects that cross live-cluster wires.
+
+The live backend moves four object families between processes: writesets
+(propagation and certification), certification requests/results (the
+replica→scheduler hot path), commit outcomes (replica→client), and plain
+row mappings (reads and equivalence dumps).  Each codec is a pure
+``encode_x`` / ``decode_x`` pair over JSON-able dicts — no pickling, so a
+node can be inspected with ``nc`` and a corrupted peer can never execute
+code in another process.
+
+Row keys are restricted to the JSON scalars the engine actually uses
+(strings, ints, floats, bools); the workloads use strings and ints.  JSON
+round-trips both without loss, which is what keeps the live backend's
+decisions byte-comparable with the functional oracle's.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.certification import (
+    CertificationDecision,
+    CertificationRequest,
+    CertificationResult,
+    RemoteWriteSetInfo,
+)
+from repro.core.writeset import WriteItem, WriteOp, WriteSet
+from repro.middleware.proxy import CommitOutcome
+
+# -- writesets ---------------------------------------------------------------
+
+
+def encode_writeset(writeset: WriteSet) -> list[dict]:
+    return [
+        {"t": item.table, "k": item.key, "o": item.op.value, "v": dict(item.values)}
+        for item in writeset
+    ]
+
+
+def decode_writeset(items: list[dict]) -> WriteSet:
+    writeset = WriteSet()
+    for entry in items:
+        writeset.add(WriteItem(
+            table=entry["t"],
+            key=entry["k"],
+            op=WriteOp(entry["o"]),
+            values=entry.get("v") or {},
+        ))
+    return writeset
+
+
+# -- remote writeset infos ---------------------------------------------------
+
+
+def encode_remote_info(info: RemoteWriteSetInfo) -> dict:
+    return {
+        "commit_version": info.commit_version,
+        "writeset": encode_writeset(info.writeset),
+        "origin_replica": info.origin_replica,
+        "conflict_free_back_to": info.conflict_free_back_to,
+    }
+
+
+def decode_remote_info(payload: dict) -> RemoteWriteSetInfo:
+    return RemoteWriteSetInfo(
+        commit_version=payload["commit_version"],
+        writeset=decode_writeset(payload["writeset"]),
+        origin_replica=payload["origin_replica"],
+        conflict_free_back_to=payload["conflict_free_back_to"],
+    )
+
+
+# -- certification requests / results ----------------------------------------
+
+
+def encode_request(request: CertificationRequest) -> dict:
+    return {
+        "tx_start_version": request.tx_start_version,
+        "writeset": encode_writeset(request.writeset),
+        "replica_version": request.replica_version,
+        "origin_replica": request.origin_replica,
+        "check_remote_back_to": request.check_remote_back_to,
+    }
+
+
+def decode_request(payload: dict) -> CertificationRequest:
+    return CertificationRequest(
+        tx_start_version=payload["tx_start_version"],
+        writeset=decode_writeset(payload["writeset"]),
+        replica_version=payload["replica_version"],
+        origin_replica=payload.get("origin_replica", ""),
+        check_remote_back_to=payload.get("check_remote_back_to"),
+    )
+
+
+def encode_result(result: CertificationResult) -> dict:
+    return {
+        "decision": result.decision.value,
+        "tx_commit_version": result.tx_commit_version,
+        "remote_writesets": [encode_remote_info(i) for i in result.remote_writesets],
+        "forced_abort": result.forced_abort,
+        "conflicting_version": result.conflicting_version,
+    }
+
+
+def decode_result(payload: dict) -> CertificationResult:
+    return CertificationResult(
+        decision=CertificationDecision(payload["decision"]),
+        tx_commit_version=payload["tx_commit_version"],
+        remote_writesets=[decode_remote_info(i) for i in payload["remote_writesets"]],
+        forced_abort=payload.get("forced_abort", False),
+        conflicting_version=payload.get("conflicting_version"),
+    )
+
+
+# -- commit outcomes ---------------------------------------------------------
+
+
+def encode_outcome(outcome: CommitOutcome) -> dict:
+    return {
+        "committed": outcome.committed,
+        "readonly": outcome.readonly,
+        "commit_version": outcome.commit_version,
+        "abort_reason": outcome.abort_reason,
+        "remote_writesets_applied": outcome.remote_writesets_applied,
+        "replica_fsyncs": outcome.replica_fsyncs,
+    }
+
+
+def decode_outcome(payload: dict) -> CommitOutcome:
+    return CommitOutcome(
+        committed=payload["committed"],
+        readonly=payload.get("readonly", False),
+        commit_version=payload.get("commit_version"),
+        abort_reason=payload.get("abort_reason"),
+        remote_writesets_applied=payload.get("remote_writesets_applied", 0),
+        replica_fsyncs=payload.get("replica_fsyncs", 0),
+    )
+
+
+# -- row mappings ------------------------------------------------------------
+
+
+def encode_row(row: Mapping[str, object] | None) -> dict | None:
+    return None if row is None else dict(row)
+
+
+def encode_table_state(state: dict[object, dict[str, object]]) -> list[list]:
+    """Encode a ``Table.snapshot_state`` dump as ``[key, row]`` pairs.
+
+    JSON objects key by strings only, and the workloads use integer row keys
+    — a pair list round-trips the key type exactly, which the equivalence
+    oracle depends on.
+    """
+    return [[key, dict(row)] for key, row in state.items()]
+
+
+def decode_table_state(pairs: list[list]) -> dict[object, dict[str, object]]:
+    return {key: row for key, row in pairs}

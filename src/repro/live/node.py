@@ -1,0 +1,517 @@
+"""Live-cluster node entrypoints: ``python -m repro.live.node --role ...``.
+
+One process per node, three roles, all serving the length-prefixed JSON
+protocol of :mod:`repro.live.wire` over asyncio TCP:
+
+``certifier-shard``
+    The durable tail of one certification shard: an append-only,
+    batch-sequenced WAL file with a real ``os.fsync`` per batch
+    (:class:`~repro.live.wal.BatchWalFile`).  The scheduler's certifier
+    service gates every commit decision on this process's acknowledgement,
+    so killing it mid-flush is a genuine durability-path fault.
+
+``scheduler``
+    The certification coordinator and cluster front door.  Hosts the
+    *unmodified* functional certifier service (:func:`make_certifier_service`
+    — the seed :class:`CertifierService` at one shard, the
+    :class:`ShardedCertifierService` above that), with each shard's log
+    device replaced by a :class:`~repro.live.wal.RemoteWalDevice` pointed at
+    a certifier-shard process.  Adds the **exactly-once transaction table**:
+    every client commit carries a ``tx_id``; the admit outcome is recorded
+    under it, a duplicate ``certify`` is answered from the record instead of
+    re-admitted, and ``commit_status`` lets a client that lost its replica
+    mid-commit resolve the fate of its transaction without re-executing it.
+
+``replica``
+    One database replica: an engine :class:`Database` (file-backed engine
+    WAL) behind the *unmodified* :class:`TransparentProxy`, whose certifier
+    is a :class:`~repro.live.client.LiveCertifierClient` speaking the wire
+    protocol to the scheduler.  Serves client sessions (begin / read / scan /
+    insert / update / delete / commit / abort) plus the maintenance surface
+    (refresh, vacuum, dump_table) the cluster driver uses.
+
+Readiness is announced by a machine-readable handshake line on stdout
+(:data:`~repro.live.harness.READY_PREFIX` + JSON with the kernel-assigned
+port) — nodes bind to port 0 unless a restart pins the previous port.
+
+Deterministic fault injection: ``--wedge-before-sync`` / ``--wedge-after-sync``
+(certifier-shard) and ``--wedge-before-commit-op`` / ``--wedge-after-commit-op``
+(replica) make the node stop responding at an exact protocol point — after
+which the harness delivers the actual ``kill -9``.  This maps the in-process
+crash points of ``tests/faults.py`` onto real processes: wedge-before-sync is
+``pre-flush`` (decision unreleased, nothing durable), wedge-after-sync is
+``mid-flush`` (durable but unacknowledged), wedge-after-commit-op is
+``post-flush`` (everything durable, only the client ack lost).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+import traceback
+
+from repro.live import codec
+from repro.live.harness import READY_PREFIX
+from repro.live.wire import RemoteCallError, read_frame, write_frame
+
+#: Returned by a role handler to make the connection hang forever (the
+#: deterministic "wedge" the crash tests SIGKILL through).
+WEDGE = object()
+
+
+# ---------------------------------------------------------------------------
+# certifier-shard role
+# ---------------------------------------------------------------------------
+
+
+class CertifierShardRole:
+    """Durable WAL server for one certification shard."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.live.wal import BatchWalFile
+
+        self.shard_id = args.shard_id
+        self.wal = BatchWalFile(args.wal or f"{args.name}.wal")
+        self.wedge_before_sync = args.wedge_before_sync
+        self.wedge_after_sync = args.wedge_after_sync
+        self.append_ops = 0
+
+    def handle(self, op: str, payload: dict):
+        if op == "wal_append":
+            self.append_ops += 1
+            if self.wedge_before_sync and self.append_ops == self.wedge_before_sync:
+                # Nothing written: the batch is lost with this process; the
+                # scheduler still holds it and resends after the restart.
+                return WEDGE
+            import binascii
+
+            applied = self.wal.append_batch(
+                int(payload["seq"]),
+                [binascii.unhexlify(p) for p in payload["payloads"]],
+            )
+            if self.wedge_after_sync and self.append_ops == self.wedge_after_sync:
+                # Durable but unacknowledged: the resend after restart must
+                # be deduplicated by seq.
+                return WEDGE
+            return {"applied": applied, "last_seq": self.wal.last_seq}
+        if op == "wal_stats":
+            return self.wal.stats()
+        if op == "ping":
+            return {"role": "certifier-shard", "shard_id": self.shard_id}
+        raise RemoteCallError(op, f"unknown certifier-shard op {op!r}")
+
+    def describe(self) -> dict:
+        return {"shard_id": self.shard_id, "wal": str(self.wal.path)}
+
+
+# ---------------------------------------------------------------------------
+# scheduler role
+# ---------------------------------------------------------------------------
+
+
+class SchedulerRole:
+    """Certification coordinator + exactly-once table + routing directory."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.live.wal import RemoteWalDevice
+        from repro.middleware.certifier import CertifierConfig
+        from repro.middleware.sharded_certifier import make_certifier_service
+
+        spec = _load_spec(args)
+        cert = spec.get("certifier", {})
+        shards = [_parse_addr(a) for a in (args.shard or [])]
+        config = CertifierConfig(
+            durability_enabled=cert.get("durability_enabled", True),
+            forced_abort_rate=cert.get("forced_abort_rate", 0.0),
+            rng_seed=cert.get("rng_seed", 1),
+            shards=max(1, len(shards)) if cert.get("shards") is None else cert["shards"],
+        )
+        if cert.get("gc_headroom_versions") is not None:
+            import dataclasses
+
+            config = dataclasses.replace(
+                config, gc_headroom_versions=cert["gc_headroom_versions"])
+        if len(shards) != config.shards:
+            raise SystemExit(
+                f"scheduler needs one --shard address per certifier shard "
+                f"({config.shards}), got {len(shards)}"
+            )
+        self.devices = [
+            RemoteWalDevice(host, port, shard_id=i)
+            for i, (host, port) in enumerate(shards)
+        ]
+        if config.shards == 1:
+            self.service = make_certifier_service(config, log_device=self.devices[0])
+        else:
+            self.service = make_certifier_service(config, log_devices=list(self.devices))
+        #: replica name -> server-side writeset subscription.
+        self.subscriptions: dict[str, object] = {}
+        #: replica name -> (host, port) routing directory.
+        self.replica_addrs: dict[str, tuple[str, int]] = {}
+        #: Exactly-once transaction table: tx_id -> recorded certify outcome.
+        self.tx_table: dict[str, dict] = {}
+        self.tx_admits = 0
+        self.duplicate_tx_hits = 0
+        self.status_queries = 0
+
+    # -- request dispatch -----------------------------------------------------
+
+    def handle(self, op: str, payload: dict):
+        service = self.service
+        if op == "certify":
+            return self._certify(payload)
+        if op == "commit_status":
+            self.status_queries += 1
+            recorded = self.tx_table.get(payload["tx_id"])
+            if recorded is None:
+                return {"known": False}
+            return {"known": True, **recorded}
+        if op == "hello_replica":
+            name = payload["replica"]
+            from_version = int(payload.get("from_version", 0))
+            previous = self.subscriptions.pop(name, None)
+            if previous is not None:
+                # A restarted replica re-subscribes under its old name; the
+                # dead incarnation's subscription must not pin GC or queue
+                # batches nobody will drain.
+                service.disconnect_replica(name)
+            self.subscriptions[name] = service.subscribe_replica(name, from_version)
+            if "host" in payload:
+                self.replica_addrs[name] = (payload["host"], int(payload["port"]))
+            return {"subscribed_from": from_version}
+        if op == "poll_writesets":
+            subscription = self.subscriptions.get(payload["replica"])
+            if subscription is None:
+                raise RemoteCallError(op, f"unknown replica {payload['replica']!r}")
+            subscription.advance_to(int(payload.get("advance_to", 0)))
+            return {"writesets": [codec.encode_remote_info(i)
+                                  for i in subscription.poll_flat()]}
+        if op == "flush_propagation":
+            service.flush_propagation()
+            return {}
+        if op == "register_replica":
+            service.register_replica(payload["replica"], int(payload.get("version", 0)))
+            return {}
+        if op == "extend_remote_horizons":
+            infos = [codec.decode_remote_info(i) for i in payload["infos"]]
+            extended = service.extend_remote_horizons(infos, int(payload["back_to"]))
+            return {"infos": [codec.encode_remote_info(i) for i in extended]}
+        if op == "replication_horizon":
+            return {"horizon": service.replication_horizon()}
+        if op == "collect_garbage":
+            return {"pruned": service.collect_garbage()}
+        if op == "system_version":
+            return {"version": service.system_version}
+        if op == "cluster_info":
+            return {
+                "replicas": {n: list(a) for n, a in self.replica_addrs.items()},
+                "shards": self.service.config.shards,
+            }
+        if op == "stats":
+            return {
+                "service": service.stats(),
+                "tx_admits": self.tx_admits,
+                "tx_table_size": len(self.tx_table),
+                "duplicate_tx_hits": self.duplicate_tx_hits,
+                "status_queries": self.status_queries,
+                "wal_resent_batches": sum(d.resent_batches for d in self.devices),
+            }
+        if op == "ping":
+            return {"role": "scheduler", "version": service.system_version}
+        raise RemoteCallError(op, f"unknown scheduler op {op!r}")
+
+    def _certify(self, payload: dict) -> dict:
+        tx_id = payload.get("tx_id")
+        request = codec.decode_request(payload["request"])
+        if tx_id is not None and tx_id in self.tx_table:
+            # Already decided: answer from the record, never re-admit.  The
+            # client protocol resolves committed retries via commit_status
+            # before re-executing, so this branch is a safety net, not the
+            # primary exactly-once mechanism.
+            self.duplicate_tx_hits += 1
+            recorded = self.tx_table[tx_id]
+            remote = self.service.fetch_remote_writesets(
+                request.replica_version, replica=request.origin_replica or None)
+            return {
+                "result": {
+                    "decision": "commit" if recorded["committed"] else "abort",
+                    "tx_commit_version": recorded["commit_version"],
+                    "remote_writesets": [codec.encode_remote_info(i) for i in remote],
+                    "forced_abort": recorded.get("forced_abort", False),
+                    "conflicting_version": recorded.get("conflicting_version"),
+                },
+                "duplicate": True,
+            }
+        result = self.service.certify(request)
+        if tx_id is not None:
+            if result.committed:
+                self.tx_admits += 1
+            self.tx_table[tx_id] = {
+                "committed": result.committed,
+                "commit_version": result.tx_commit_version,
+                "forced_abort": result.forced_abort,
+                "conflicting_version": result.conflicting_version,
+            }
+        return {"result": codec.encode_result(result), "duplicate": False}
+
+    def describe(self) -> dict:
+        return {"shards": self.service.config.shards}
+
+
+# ---------------------------------------------------------------------------
+# replica role
+# ---------------------------------------------------------------------------
+
+
+class ReplicaRole:
+    """One database replica: engine + transparent proxy + session server."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.core.config import SystemKind
+        from repro.engine.database import Database
+        from repro.engine.log_device import FileLogDevice
+        from repro.engine.table import TableSchema
+        from repro.live.client import LiveCertifierClient
+        from repro.middleware.client_api import ClientSession
+        from repro.middleware.replica import Replica
+
+        spec = _load_spec(args)
+        if args.scheduler is None:
+            raise SystemExit("replica role requires --scheduler host:port")
+        host, port = _parse_addr(args.scheduler)
+        self.name = args.name
+        self.wedge_before_commit_op = args.wedge_before_commit_op
+        self.wedge_after_commit_op = args.wedge_after_commit_op
+        self.commit_ops = 0
+        # Real file-backed engine WAL: Tashkent-MW replicas run with
+        # synchronous commit off (the proxy turns it off), but the append
+        # path and group-apply fsync accounting are the real thing.
+        device = FileLogDevice(f"{self.name}.engine.wal")
+        database = Database(name=self.name, synchronous_commit=True, log_device=device)
+        for schema in spec.get("schemas", []):
+            database.create_table_from_schema(TableSchema(
+                name=schema["name"],
+                columns=tuple(schema["columns"]),
+                primary_key=schema.get("primary_key", "id"),
+            ))
+        self.cert_client = LiveCertifierClient(host, port, replica_name=self.name)
+        system = SystemKind(spec.get("system", "tashkent-mw"))
+        self.replica = Replica(
+            self.name,
+            database,
+            self.cert_client,  # quacks like CertifierService for the proxy
+            system=system,
+            local_certification=spec.get("local_certification", True),
+            eager_pre_certification=spec.get("eager_pre_certification", True),
+        )
+        self._session_cls = ClientSession
+        #: session id -> ClientSession (the unmodified client API object).
+        self.sessions: dict[int, object] = {}
+        self._next_session = 1
+
+    # -- request dispatch -----------------------------------------------------
+
+    def handle(self, op: str, payload: dict):
+        if op == "open_session":
+            session_id = self._next_session
+            self._next_session += 1
+            self.sessions[session_id] = self._session_cls(
+                self.replica.proxy, client_name=payload.get("client_name", "client"))
+            return {"session_id": session_id, "replica": self.name}
+        if op == "close_session":
+            self.sessions.pop(payload["session_id"], None)
+            return {}
+        if op in ("begin", "read", "scan", "insert", "update", "delete",
+                  "commit", "abort"):
+            return self._session_op(op, payload)
+        if op == "refresh":
+            return {"applied": self.replica.refresh()}
+        if op == "vacuum":
+            return {"reclaimed": self.replica.vacuum(max_rows=payload.get("max_rows"))}
+        if op == "dump_table":
+            database = self.replica.database
+            table = database.table(payload["table"])
+            state = table.snapshot_state(database.current_version)
+            return {"state": codec.encode_table_state(state),
+                    "version": self.replica.replica_version}
+        if op == "tables":
+            return {"tables": sorted(self.replica.database.tables)}
+        if op == "replica_version":
+            return {"version": self.replica.replica_version}
+        if op == "stats":
+            return {"stats": self.replica.stats_snapshot(),
+                    "commit_ops": self.commit_ops}
+        if op == "ping":
+            return {"role": "replica", "name": self.name,
+                    "version": self.replica.replica_version}
+        raise RemoteCallError(op, f"unknown replica op {op!r}")
+
+    def _session_op(self, op: str, payload: dict):
+        session = self.sessions.get(payload["session_id"])
+        if session is None:
+            raise RemoteCallError(op, f"unknown session {payload['session_id']}")
+        if op == "begin":
+            session.begin()
+            return {}
+        if op == "read":
+            row = session.read(payload["table"], payload["key"])
+            return {"row": codec.encode_row(row)}
+        if op == "scan":
+            rows = session.scan(payload["table"])
+            return {"rows": [[key, dict(row)] for key, row in rows]}
+        if op == "insert":
+            session.insert(payload["table"], payload["key"], **payload.get("values", {}))
+            return {}
+        if op == "update":
+            session.update(payload["table"], payload["key"], **payload.get("values", {}))
+            return {}
+        if op == "delete":
+            session.delete(payload["table"], payload["key"])
+            return {}
+        if op == "abort":
+            session.abort()
+            return {}
+        # commit: the exactly-once tx id rides down to the scheduler with the
+        # certification request this commit triggers.
+        self.commit_ops += 1
+        if (self.wedge_before_commit_op
+                and self.commit_ops == self.wedge_before_commit_op):
+            # Killed here, the transaction was never certified: the client's
+            # status query finds nothing and re-executes — safely, exactly
+            # once, because nothing was admitted.
+            return WEDGE
+        self.cert_client.next_tx_id = payload.get("tx_id")
+        try:
+            outcome = session.commit()
+        finally:
+            self.cert_client.next_tx_id = None
+        if (self.wedge_after_commit_op
+                and self.commit_ops == self.wedge_after_commit_op):
+            # Killed here, the transaction IS committed (admitted, durable,
+            # propagated) but the ack never reaches the client: the status
+            # query answers "committed" and the client must not re-execute.
+            return WEDGE
+        return {"outcome": codec.encode_outcome(outcome)}
+
+    def describe(self) -> dict:
+        return {"replica": self.name}
+
+
+# ---------------------------------------------------------------------------
+# server plumbing
+# ---------------------------------------------------------------------------
+
+
+def _load_spec(args: argparse.Namespace) -> dict:
+    if args.spec is None:
+        return {}
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _parse_addr(addr: str) -> tuple[str, int]:
+    host, _, port = addr.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+async def _serve(role, args: argparse.Namespace) -> None:
+    async def handle_connection(reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                message = await read_frame(reader)
+                if message is None:
+                    break
+                op = str(message.pop("op", ""))
+                try:
+                    response = role.handle(op, message)
+                except RemoteCallError as exc:
+                    response = {"ok": False, "error": exc.error,
+                                "error_type": exc.error_type, "reason": exc.reason}
+                except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+                    from repro.errors import TransactionAborted
+
+                    if isinstance(exc, TransactionAborted):
+                        response = {"ok": False, "error": str(exc),
+                                    "error_type": "TransactionAborted",
+                                    "reason": exc.reason}
+                    else:
+                        traceback.print_exc(file=sys.stderr)
+                        response = {"ok": False, "error": str(exc),
+                                    "error_type": type(exc).__name__}
+                if response is WEDGE:
+                    # Freeze the WHOLE process, event loop included — a
+                    # task-level wait would let retries on fresh connections
+                    # be served, and the crash point would quietly heal
+                    # itself before the kill -9 lands.
+                    print(f"WEDGED op={op}", file=sys.stderr, flush=True)
+                    while True:
+                        time.sleep(3600)
+                if isinstance(response, dict) and "ok" not in response:
+                    response = {"ok": True, **response}
+                await write_frame(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle_connection, args.host, args.port)
+    port = server.sockets[0].getsockname()[1]
+    handshake = {
+        "role": args.role, "name": args.name, "port": port,
+        "host": args.host, "pid": __import__("os").getpid(),
+        **role.describe(),
+    }
+    print(READY_PREFIX + json.dumps(handshake), flush=True)
+    async with server:
+        await server.serve_forever()
+
+
+ROLES = {
+    "certifier-shard": CertifierShardRole,
+    "scheduler": SchedulerRole,
+    "replica": ReplicaRole,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.live.node",
+        description="One live-cluster node (certifier shard, scheduler or replica).",
+    )
+    parser.add_argument("--role", required=True, choices=sorted(ROLES))
+    parser.add_argument("--name", default="node")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--advertise-host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 (default) lets the kernel pick; the handshake reports it")
+    parser.add_argument("--spec", default=None,
+                        help="cluster spec JSON (schemas, system kind, certifier config)")
+    parser.add_argument("--wal", default=None, help="WAL file path (certifier-shard)")
+    parser.add_argument("--shard-id", type=int, default=0)
+    parser.add_argument("--shard", action="append", default=None, metavar="HOST:PORT",
+                        help="certifier-shard address (scheduler; repeat per shard)")
+    parser.add_argument("--scheduler", default=None, metavar="HOST:PORT")
+    # Deterministic fault points (see module docstring): wedge = stop
+    # responding at the Nth op so the harness can land a kill -9 exactly there.
+    parser.add_argument("--wedge-before-sync", type=int, default=0)
+    parser.add_argument("--wedge-after-sync", type=int, default=0)
+    parser.add_argument("--wedge-before-commit-op", type=int, default=0)
+    parser.add_argument("--wedge-after-commit-op", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    role = ROLES[args.role](args)
+    try:
+        asyncio.run(_serve(role, args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+
+
+if __name__ == "__main__":
+    main()

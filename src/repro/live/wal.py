@@ -1,0 +1,165 @@
+"""File-backed WAL for live certifier-shard nodes, and its remote device.
+
+A certifier-shard process owns one append-only WAL file.  The scheduler's
+certifier service writes through a :class:`RemoteWalDevice` — a drop-in
+:class:`~repro.engine.log_device.LogDevice` whose ``sync()`` ships the
+pending payloads to the shard process, which appends them to the file,
+``os.fsync``\\ s, and acknowledges.  The decision for a transaction is only
+released once that acknowledgement arrives, so live commits are gated on a
+real disk write in a different OS process — exactly the deployment shape of
+the paper's certifier log.
+
+Idempotent re-append
+====================
+
+A ``kill -9`` can land between the shard's fsync and its acknowledgement;
+the scheduler then resends the batch to the restarted process.  Every sync
+batch therefore carries a per-device monotonically increasing ``seq``, and
+the WAL file records it with the batch: on restart the node replays the file
+to find the highest applied ``seq`` and acknowledges (without re-writing)
+any batch at or below it.  The file ends up with each batch exactly once no
+matter where the kill landed — the invariant the crash tests assert.
+
+File format: one JSON line per batch — ``{"seq": n, "payloads": [hex...]}``.
+A torn final line (kill mid-write, before the fsync covering it) is
+discarded on replay; its batch was never acknowledged, so the scheduler
+still holds it and will resend.
+"""
+
+from __future__ import annotations
+
+import binascii
+import json
+import os
+from pathlib import Path
+
+from repro.live.wire import WireClient
+
+
+class BatchWalFile:
+    """The shard process's append-only, batch-sequenced WAL file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.last_seq = 0
+        self.batches = 0
+        self.records = 0
+        self.duplicate_batches_skipped = 0
+        self._replay()
+        self._file = open(self.path, "ab")
+
+    def _replay(self) -> None:
+        """Scan the existing file (if any) for the highest applied batch seq."""
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail: never acknowledged, will be resent
+                try:
+                    entry = json.loads(raw)
+                except ValueError:
+                    break
+                self.last_seq = max(self.last_seq, int(entry["seq"]))
+                self.batches += 1
+                self.records += len(entry["payloads"])
+
+    def append_batch(self, seq: int, payloads: list[bytes]) -> bool:
+        """Durably append one batch; returns False when it was a duplicate."""
+        if seq <= self.last_seq:
+            self.duplicate_batches_skipped += 1
+            return False
+        entry = {"seq": seq, "payloads": [binascii.hexlify(p).decode() for p in payloads]}
+        self._file.write(json.dumps(entry, separators=(",", ":")).encode() + b"\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.last_seq = seq
+        self.batches += 1
+        self.records += len(payloads)
+        return True
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "last_seq": self.last_seq,
+            "batches": self.batches,
+            "records": self.records,
+            "duplicate_batches_skipped": self.duplicate_batches_skipped,
+            "bytes": self.path.stat().st_size if self.path.exists() else 0,
+        }
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def read_wal_batches(path: str | Path) -> list[dict]:
+    """Parse a shard WAL file into its applied batches (crash-test oracle)."""
+    batches: list[dict] = []
+    path = Path(path)
+    if not path.exists():
+        return batches
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                break
+            try:
+                entry = json.loads(raw)
+            except ValueError:
+                break
+            batches.append({
+                "seq": int(entry["seq"]),
+                "payloads": [binascii.unhexlify(p) for p in entry["payloads"]],
+            })
+    return batches
+
+
+class RemoteWalDevice:
+    """A :class:`LogDevice` whose syncs land on a certifier-shard process.
+
+    ``append`` buffers payloads locally; ``sync`` ships them as one
+    sequence-numbered batch and blocks until the shard process acknowledges
+    the fsync.  A dead shard process stalls the sync in a reconnect/resend
+    loop rather than failing it: the certifier has already admitted the
+    transaction by the time it flushes, so giving up would strand a decision
+    that is half-made.  The harness restarts killed nodes on their original
+    port; the resend is deduplicated by ``seq`` on the other side.
+    """
+
+    def __init__(self, host: str, port: int, *, shard_id: int = 0,
+                 attempt_timeout_s: float = 2.0) -> None:
+        self.shard_id = shard_id
+        self._client = WireClient(host, port, timeout=attempt_timeout_s,
+                                  name=f"wal-{shard_id}")
+        self._pending: list[bytes] = []
+        self._seq = 0
+        self._sync_count = 0
+        self._bytes_written = 0
+        self.resent_batches = 0
+
+    # -- LogDevice interface --------------------------------------------------
+
+    def append(self, payload: bytes) -> None:
+        self._pending.append(payload)
+        self._bytes_written += len(payload)
+
+    def sync(self) -> None:
+        self._seq += 1
+        payloads = [binascii.hexlify(p).decode() for p in self._pending]
+        calls_before = self._client.reconnects
+        self._client.call_retrying(
+            "wal_append", seq=self._seq, payloads=payloads, deadline_s=None,
+        )
+        if self._client.reconnects > calls_before:
+            self.resent_batches += 1
+        self._pending.clear()
+        self._sync_count += 1
+
+    @property
+    def sync_count(self) -> int:
+        return self._sync_count
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written
+
+    def close(self) -> None:
+        self._client.close()

@@ -1,0 +1,247 @@
+"""Length-prefixed JSON wire protocol for the live cluster.
+
+Every message on a live-cluster TCP connection is one *frame*: a 4-byte
+big-endian length followed by a UTF-8 JSON object.  Requests carry an ``op``
+field plus op-specific payload; responses carry either ``ok: true`` and the
+payload or ``ok: false`` with ``error``/``error_type`` fields.  The framing
+is deliberately boring — the interesting property is that both sides can
+always find the next message boundary, so a reader never has to guess where
+a JSON document ends on a stream.
+
+Two consumers share the format:
+
+* the asyncio node servers (:mod:`repro.live.node`) use :func:`read_frame` /
+  :func:`write_frame` on ``StreamReader``/``StreamWriter`` pairs;
+* the synchronous callers — the test driver's :class:`~repro.live.client.
+  LiveSession`, the replica's in-process certifier client, and the
+  scheduler's remote WAL device — use :class:`WireClient`, a blocking
+  socket with the same framing plus reconnect/retry helpers.
+
+The protocol is strictly request/response per connection: a caller never
+pipelines, so a frame read after a write is always the answer to that write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import time
+
+from repro.errors import ReproError
+
+#: Frames beyond this size indicate a corrupted stream (or a runaway
+#: payload); both sides refuse them instead of trying to allocate.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class WireError(ReproError):
+    """Base class for live-cluster wire failures."""
+
+
+class ConnectionLost(WireError):
+    """The TCP peer vanished mid-conversation (crash, kill -9, shutdown)."""
+
+
+class FrameTooLarge(WireError):
+    """A frame header announced more than :data:`MAX_FRAME_BYTES`."""
+
+
+class RemoteCallError(WireError):
+    """The peer processed the request and answered with an error."""
+
+    def __init__(self, op: str, error: str, error_type: str = "error",
+                 reason: str | None = None) -> None:
+        super().__init__(f"remote op {op!r} failed: {error}")
+        self.op = op
+        self.error = error
+        self.error_type = error_type
+        #: Abort reason carried by transaction-level failures.
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# frame encoding (shared by sync and async paths)
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise one message to its on-wire form (length header + JSON)."""
+    body = json.dumps(payload, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    message = json.loads(body.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise WireError(f"expected a JSON object frame, got {type(message).__name__}")
+    return message
+
+
+# ---------------------------------------------------------------------------
+# asyncio side (node servers)
+# ---------------------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a message boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ConnectionLost("peer closed mid-header") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionLost("peer closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# blocking side (drivers, inter-node clients)
+# ---------------------------------------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, length: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionLost("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class WireClient:
+    """A blocking request/response client over one framed TCP connection.
+
+    ``timeout`` bounds each socket operation (connect/send/recv), not a whole
+    call — a slow but live peer keeps resetting the clock.  ``None`` means
+    block forever (used by the test driver under the suite watchdog).
+
+    :meth:`call` performs one round trip and unwraps the response envelope;
+    :meth:`call_retrying` additionally survives peer restarts by reconnecting
+    and resending — callers must only use it for idempotent ops (the live
+    protocol makes the WAL append and certification ops idempotent via
+    sequence numbers and transaction ids precisely so this is safe).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0,
+                 name: str = "client") -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.name = name
+        self._sock: socket.socket | None = None
+        self.calls = 0
+        self.reconnects = 0
+
+    # -- connection management ------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def reconnect(self) -> None:
+        self.close()
+        self.reconnects += 1
+        self.connect()
+
+    # -- calls ----------------------------------------------------------------
+
+    def call(self, op: str, **fields: object) -> dict:
+        """One request/response round trip; raises on transport or remote error."""
+        request = {"op": op, **fields}
+        try:
+            self.connect()
+            sock = self._sock
+            assert sock is not None
+            sock.sendall(encode_frame(request))
+            header = _recv_exactly(sock, _LEN.size)
+            (length,) = _LEN.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise FrameTooLarge(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+            response = decode_body(_recv_exactly(sock, length))
+        except (OSError, EOFError) as exc:
+            # The connection is poisoned mid-exchange; drop it so the next
+            # call starts clean.
+            self.close()
+            raise ConnectionLost(f"{op} to {self.host}:{self.port} failed: {exc}") from exc
+        self.calls += 1
+        if not response.get("ok", False):
+            raise RemoteCallError(
+                op,
+                str(response.get("error", "unknown remote error")),
+                error_type=str(response.get("error_type", "error")),
+                reason=response.get("reason"),
+            )
+        return response
+
+    def call_retrying(self, op: str, *, deadline_s: float | None = None,
+                      retry_interval_s: float = 0.2, **fields: object) -> dict:
+        """Call, reconnecting and resending until it succeeds.
+
+        Survives the peer being killed and restarted on the same port (the
+        harness restarts nodes on their original port).  ``deadline_s`` of
+        ``None`` retries forever — the per-test watchdog is the backstop, and
+        a deliberately killed node is always restarted by the test choreography.
+        """
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            try:
+                return self.call(op, **fields)
+            except ConnectionLost:
+                attempt += 1
+                self.close()
+                # The next call() re-dials from scratch: count it, so callers
+                # (e.g. the remote WAL device) can tell a clean first delivery
+                # from a resend that crossed a peer restart.
+                self.reconnects += 1
+                if deadline_s is not None and time.monotonic() - start > deadline_s:
+                    raise
+                time.sleep(min(retry_interval_s * min(attempt, 5), 1.0))
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "WireClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"WireClient({self.host}:{self.port}, {state}, calls={self.calls})"

@@ -1,0 +1,251 @@
+"""kill -9 crash schedules against real node processes, oracle-checked.
+
+Each test arms a deterministic *wedge* (the node freezes at an exact
+protocol point), drives the workload until a commit hangs there, lands a
+real SIGKILL, restarts the node via the harness on its original port, and
+resolves the in-doubt commit through the exactly-once protocol.  The final
+state must equal a fault-free functional run of the same logical
+transaction sequence — proving recovery converged AND every transaction
+took effect exactly once.
+
+The four schedules map the in-process crash points of ``tests/faults.py``
+onto processes:
+
+==============================  ============================================
+schedule                        crash point analogue
+==============================  ============================================
+shard killed while idle         pre-flush (nothing durable; batch resent)
+shard wedge-after-sync + kill   mid-flush (durable, unacknowledged; the
+                                resend must be deduplicated by batch seq)
+replica wedge-before-commit     pre-certify (nothing admitted; the client
++ kill                          re-executes, exactly once)
+replica wedge-after-commit      post-flush (admitted + durable + applied;
++ kill                          only the ack was lost — the client must NOT
+                                re-execute)
+==============================  ============================================
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ReplicationConfig, SystemKind
+from repro.live.client import CommitInDoubt
+from repro.live.cluster import LiveCluster
+from repro.live.wal import read_wal_batches
+from repro.middleware.systems import build_replicated_system
+from repro.sim.rng import RandomStreams
+from repro.workloads import workload_by_name
+
+pytestmark = pytest.mark.live
+
+SEED = 11
+TRANSACTIONS = 8
+#: Short per-attempt socket timeout so a wedged node turns into
+#: ``CommitInDoubt`` quickly; the kill is delivered afterwards, which is
+#: fine — a wedged node is frozen at its crash point until then.
+CLIENT_TIMEOUT_S = 3.0
+
+CONFIG = ReplicationConfig(system=SystemKind.TASHKENT_MW, num_replicas=2,
+                           certifier_shards=1, rng_seed=SEED)
+
+
+def make_workload():
+    return workload_by_name("allupdates", num_replicas=2)
+
+
+def functional_oracle():
+    """Fault-free oracle: the same TRANSACTIONS sequence, no crashes."""
+    workload = make_workload()
+    system = build_replicated_system(CONFIG)
+    system.create_tables_from_schemas(workload.schemas())
+    system.load_initial_data(workload.setup)
+    sessions = system.sessions_round_robin(len(system.replicas))
+    rng = RandomStreams(SEED)
+    for sequence in range(TRANSACTIONS):
+        index = sequence % len(sessions)
+        assert workload.run_transaction(sessions[index], rng,
+                                        client_index=index, sequence=sequence)
+    system.refresh_all()
+    return {
+        replica.name: replica.database.table("counters").snapshot_state(
+            replica.database.current_version)
+        for replica in system.replicas
+    }
+
+
+def assert_matches_oracle(cluster: LiveCluster) -> None:
+    """Final counters on every live replica == the fault-free oracle's."""
+    cluster.refresh_all()
+    oracle = functional_oracle()
+    for name in cluster.replicas:
+        assert cluster.dump_table(name, "counters") == oracle[name], (
+            f"replica {name} diverged from the fault-free oracle"
+        )
+
+
+def assert_exactly_once(cluster: LiveCluster, *, admits: int) -> None:
+    """Every admitted transaction appears once in the tx table and the WAL."""
+    stats = cluster.scheduler_stats()
+    assert stats["tx_admits"] == admits, stats
+    # The WAL holds each batch seq exactly once, strictly increasing — a
+    # duplicate admit would show up as a repeated or out-of-order seq.
+    batches = read_wal_batches(cluster.harness.run_dir / "shard-0.wal")
+    seqs = [batch["seq"] for batch in batches]
+    assert seqs == sorted(set(seqs)), f"duplicate/reordered WAL batches: {seqs}"
+
+
+def run_sequence(cluster, workload, sessions, rng, sequences):
+    for sequence in sequences:
+        index = sequence % len(sessions)
+        assert workload.run_transaction(sessions[index], rng,
+                                        client_index=index, sequence=sequence)
+
+
+def boot(tmp_path, **cluster_kwargs) -> tuple[LiveCluster, object, list, RandomStreams]:
+    workload = make_workload()
+    cluster = LiveCluster(CONFIG, workload.schemas(), run_dir=tmp_path,
+                          keep_dir=True, **cluster_kwargs)
+    cluster.__enter__()
+    cluster.load_initial_data(workload)
+    sessions = [cluster.session(name, attempt_timeout_s=CLIENT_TIMEOUT_S)
+                for name in cluster.replicas]
+    return cluster, workload, sessions, RandomStreams(SEED)
+
+
+def test_shard_sigkill_between_transactions_stalls_then_recovers(tmp_path):
+    """Kill the only certifier shard while idle: the next commit stalls in
+    the scheduler's resend loop, and completes once the shard is restarted —
+    commit durability really is gated on the shard process."""
+    cluster, workload, sessions, rng = boot(tmp_path)
+    try:
+        run_sequence(cluster, workload, sessions, rng, range(3))
+        cluster.kill_shard(0)
+
+        # Transaction 3 wedges inside certify (its WAL flush can't complete).
+        with pytest.raises(CommitInDoubt) as caught:
+            workload.run_transaction(sessions[3 % 2], rng,
+                                     client_index=3 % 2, sequence=3)
+        cluster.restart_shard(0)
+
+        # The stalled certification drains through the restarted shard; the
+        # tx table then knows the verdict.  The executing replica is alive,
+        # so "unknown" would only mean "still in flight" — wait it out.
+        outcome = sessions[3 % 2].resolve_commit(caught.value.tx_id,
+                                                 wait_known_s=20.0)
+        assert outcome is not None and outcome.committed
+        sessions[3 % 2].reconnect()
+
+        run_sequence(cluster, workload, sessions, rng, range(4, TRANSACTIONS))
+        assert_matches_oracle(cluster)
+        assert_exactly_once(cluster, admits=TRANSACTIONS + 1)  # +1 loader
+    finally:
+        cluster.__exit__(None, None, None)
+
+
+def test_shard_sigkill_mid_flush_resend_is_deduplicated(tmp_path):
+    """Wedge the shard right AFTER its fsync (ack lost), then kill it: the
+    batch is durable, the scheduler resends it, and the restarted shard must
+    acknowledge without re-appending — seq-based idempotence."""
+    # Appends so far: loader=1, txns 0..2 = 3 → the 5th wal_append (txn 3)
+    # fsyncs and then freezes before acknowledging.
+    cluster, workload, sessions, rng = boot(
+        tmp_path, shard_args={0: ["--wedge-after-sync", "5"]})
+    try:
+        run_sequence(cluster, workload, sessions, rng, range(3))
+        with pytest.raises(CommitInDoubt) as caught:
+            workload.run_transaction(sessions[3 % 2], rng,
+                                     client_index=3 % 2, sequence=3)
+        cluster.kill_shard(0)
+        cluster.restart_shard(0, drop_args=("--wedge-after-sync",))
+
+        outcome = sessions[3 % 2].resolve_commit(caught.value.tx_id,
+                                                 wait_known_s=20.0)
+        assert outcome is not None and outcome.committed
+        sessions[3 % 2].reconnect()
+
+        run_sequence(cluster, workload, sessions, rng, range(4, TRANSACTIONS))
+        # The durable-but-unacknowledged batch was resent and skipped.
+        assert cluster.shard_wal_stats(0)["duplicate_batches_skipped"] >= 1
+        assert cluster.scheduler_stats()["wal_resent_batches"] >= 1
+        assert_matches_oracle(cluster)
+        assert_exactly_once(cluster, admits=TRANSACTIONS + 1)
+    finally:
+        cluster.__exit__(None, None, None)
+
+
+def test_replica_sigkill_before_certification_client_reexecutes(tmp_path):
+    """Wedge replica-1 BEFORE executing a commit, kill it: nothing was
+    admitted, the status query says unknown, and the client re-executes the
+    transaction — exactly once ends at one admit."""
+    # Commit ops on replica-1: txns 1, 3, 5, 7 → wedge its 2nd commit (txn 3).
+    cluster, workload, sessions, rng = boot(
+        tmp_path, replica_args={"replica-1": ["--wedge-before-commit-op", "2"]})
+    try:
+        run_sequence(cluster, workload, sessions, rng, range(3))
+        with pytest.raises(CommitInDoubt) as caught:
+            workload.run_transaction(sessions[1], rng,
+                                     client_index=1, sequence=3)
+        cluster.kill_replica("replica-1")
+        cluster.restart_replica("replica-1",
+                                drop_args=("--wedge-before-commit-op",))
+        # The reborn replica starts from an empty engine and resubscribes
+        # from version 0; one refresh replays the full backfill (setup data
+        # included) before it serves transactions again.
+        cluster.refresh_all()
+        sessions[1].reconnect()
+
+        # The executing replica died before certifying: the scheduler never
+        # saw the transaction, so re-executing is the exactly-once move.
+        assert sessions[1].resolve_commit(caught.value.tx_id,
+                                          wait_known_s=2.0) is None
+        assert workload.run_transaction(sessions[1], rng_replay(rng, 3),
+                                        client_index=1, sequence=3)
+
+        run_sequence(cluster, workload, sessions, rng, range(4, TRANSACTIONS))
+        stats = cluster.scheduler_stats()
+        assert stats["status_queries"] >= 1
+        assert_matches_oracle(cluster)
+        assert_exactly_once(cluster, admits=TRANSACTIONS + 1)
+    finally:
+        cluster.__exit__(None, None, None)
+
+
+def test_replica_sigkill_after_commit_ack_lost_client_must_not_reexecute(tmp_path):
+    """Wedge replica-1 AFTER fully executing a commit (admitted, durable,
+    propagated — only the client ack lost), kill it: the status query says
+    committed and the client records the outcome WITHOUT re-executing."""
+    cluster, workload, sessions, rng = boot(
+        tmp_path, replica_args={"replica-1": ["--wedge-after-commit-op", "2"]})
+    try:
+        run_sequence(cluster, workload, sessions, rng, range(3))
+        with pytest.raises(CommitInDoubt) as caught:
+            workload.run_transaction(sessions[1], rng,
+                                     client_index=1, sequence=3)
+        cluster.kill_replica("replica-1")
+        cluster.restart_replica("replica-1",
+                                drop_args=("--wedge-after-commit-op",))
+        cluster.refresh_all()  # replay the backfill into the fresh engine
+        sessions[1].reconnect()
+
+        outcome = sessions[1].resolve_commit(caught.value.tx_id,
+                                             wait_known_s=2.0)
+        assert outcome is not None and outcome.committed
+        # NOT re-executed: txn 3's increment must appear exactly once, which
+        # the oracle comparison below proves (a double increment would
+        # diverge on its counter row).
+
+        run_sequence(cluster, workload, sessions, rng, range(4, TRANSACTIONS))
+        stats = cluster.scheduler_stats()
+        assert stats["duplicate_tx_hits"] == 0  # status path, never re-certify
+        assert_matches_oracle(cluster)
+        assert_exactly_once(cluster, admits=TRANSACTIONS + 1)
+    finally:
+        cluster.__exit__(None, None, None)
+
+
+def rng_replay(rng: RandomStreams, sequence: int) -> RandomStreams:
+    """AllUpdates draws nothing from ``rng``, so replaying a transaction can
+    reuse the live stream object; kept as a named hook so a future workload
+    with rng draws fails loudly here instead of silently diverging."""
+    return rng

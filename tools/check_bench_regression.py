@@ -111,6 +111,12 @@ GUARDS: tuple[Guard, ...] = (
           ("history",), "read_speedup", "higher", tolerance=0.6),
     Guard("BENCH_mvcc_vacuum.json", "layout",
           ("chain_length",), "install_speedup", "higher", tolerance=0.6),
+    # Live multi-process backend: pure wall-clock on real subprocesses and
+    # sockets, so the guards are the loosest of all — they exist to catch an
+    # order-of-magnitude collapse (a lost batch path, per-call reconnects, a
+    # sleep on the commit hot path), not runner-speed drift.
+    Guard("BENCH_live.json", "results",
+          ("metric",), "value", "higher", tolerance=0.9),
 )
 
 
