@@ -73,7 +73,12 @@ from repro.core.certifier_log import CertifierLog
 from repro.core.stats import CertifierStats
 from repro.core.versions import VersionClock
 from repro.core.writeset import WriteSet
-from repro.errors import ConfigurationError, LogPrunedError, RecoveryError
+from repro.errors import (
+    ConfigurationError,
+    LogPrunedError,
+    RecoveryError,
+    ReproError,
+)
 
 
 class Partitioner(Protocol):
@@ -484,6 +489,146 @@ class ShardedCertifier:
             remote_writesets=remote,
         )
 
+    # -- group certification (one round, many requests) ----------------------
+
+    def certify_batch(
+        self, requests: list[CertificationRequest],
+    ) -> list[CertificationResult | ReproError]:
+        """Certify a batch of requests as one round, sequentially-equivalent.
+
+        Produces exactly the decisions, commit versions, counters and remote
+        writeset windows a ``for request: certify(request)`` loop would — the
+        point of batching is that the *caller* can then install every
+        admitted fragment with one log flush per touched shard instead of
+        one per transaction.  Per-request failures (e.g. a pruned remote
+        window) are returned in place as the exception instance, so one bad
+        request cannot poison its batchmates.
+
+        Three phases, all in batch order:
+
+        1. **decide** — per request: window check, the shard log probes
+           (charged exactly as sequential), plus an *overlay* conflict check
+           against the batch's own earlier pending commits (which sequential
+           certification would have found in the shard logs); clean requests
+           allocate their global version and stake their items in the
+           overlay.
+        2. **admit** — pending fragments install per shard in global-version
+           order (the same admit-call sequence the loop would make, merely
+           deferred past the later probes, which are content-independent).
+        3. **respond** — remote writesets are computed per request with the
+           window capped at the versions that preceded it (``up_to``), so
+           request *i* sees its earlier batchmates' commits but not later
+           ones — byte-identical to the sequential interleaving.
+        """
+        outcomes: list[CertificationResult | ReproError | None] = [None] * len(requests)
+        plans: list[tuple | None] = [None] * len(requests)
+        #: item identity -> earliest pending (not yet admitted) commit version.
+        overlay: dict[tuple[str, object], int] = {}
+
+        for i, request in enumerate(requests):
+            try:
+                self._check_remote_window(request)
+            except LogPrunedError as exc:
+                outcomes[i] = exc
+                continue
+            self.certification_requests += 1
+            writeset = request.writeset
+
+            if writeset.is_empty():
+                self.readonly_requests += 1
+                plans[i] = ("readonly", self.system_version.version)
+                self.note_replica_version(request.origin_replica,
+                                          request.replica_version)
+                continue
+
+            fragments = self.partitioner.split(writeset)
+            touched = sorted(fragments)
+            conflict = self._find_conflict(fragments, touched,
+                                           request.tx_start_version)
+            if conflict is None:
+                # Earlier batchmates' items are not yet in the shard logs;
+                # overlay versions are all above any request's snapshot, so
+                # any staked item the writeset touches is a conflict (and the
+                # log conflict, when present, is always the earlier version).
+                pending = [overlay[item_id] for item_id in writeset.iter_item_ids()
+                           if item_id in overlay]
+                conflict = min(pending) if pending else None
+            if conflict is not None:
+                self.aborts += 1
+                if request.tx_start_version < self._base_version:
+                    self.snapshot_too_old_aborts += 1
+                plans[i] = ("abort", self.system_version.version, conflict, False)
+                self.note_replica_version(request.origin_replica,
+                                          request.replica_version)
+                continue
+
+            if self._should_force_abort():
+                self.aborts += 1
+                self.forced_aborts += 1
+                plans[i] = ("abort", self.system_version.version, None, True)
+                self.note_replica_version(request.origin_replica,
+                                          request.replica_version)
+                continue
+
+            commit_version = self.system_version.increment()
+            for item_id in writeset.iter_item_ids():
+                overlay.setdefault(item_id, commit_version)
+            plans[i] = ("commit", commit_version - 1, commit_version,
+                        fragments, touched)
+            self.note_replica_version(request.origin_replica,
+                                      request.replica_version)
+
+        for i, request in enumerate(requests):
+            plan = plans[i]
+            if plan is None or plan[0] != "commit":
+                continue
+            _, _, commit_version, fragments, touched = plan
+            origin = request.origin_replica or "unknown"
+            shard_locals = tuple(
+                (shard_id, self.shards[shard_id].admit(
+                    fragments[shard_id], request.tx_start_version,
+                    commit_version, origin))
+                for shard_id in touched
+            )
+            self._records.append(
+                GlobalRecord(
+                    commit_version=commit_version,
+                    writeset=request.writeset,
+                    origin_replica=origin,
+                    shard_locals=shard_locals,
+                )
+            )
+            self.commits += 1
+
+        for i, request in enumerate(requests):
+            plan = plans[i]
+            if plan is None:
+                continue
+            kind, boundary = plan[0], plan[1]
+            remote = self._remote_writesets_for(request, up_to=boundary)
+            if kind == "commit":
+                outcomes[i] = CertificationResult(
+                    decision=CertificationDecision.COMMIT,
+                    tx_commit_version=plan[2],
+                    remote_writesets=remote,
+                )
+            elif kind == "abort":
+                outcomes[i] = CertificationResult(
+                    decision=CertificationDecision.ABORT,
+                    tx_commit_version=None,
+                    remote_writesets=remote,
+                    conflicting_version=plan[2],
+                    forced_abort=plan[3],
+                )
+            else:
+                outcomes[i] = CertificationResult(
+                    decision=CertificationDecision.COMMIT,
+                    tx_commit_version=None,
+                    remote_writesets=remote,
+                )
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
     def _find_conflict(self, fragments: dict[int, WriteSet], touched: list[int],
                        after_version: int) -> int | None:
         """Earliest conflicting global version across all touched shards.
@@ -528,11 +673,16 @@ class ShardedCertifier:
         self,
         request: CertificationRequest,
         exclude_version: int | None = None,
+        up_to: int | None = None,
     ) -> list[RemoteWriteSetInfo]:
         remote: list[RemoteWriteSetInfo] = []
         back_to = request.check_remote_back_to
         after = max(request.replica_version, self._check_remote_window(request))
         for record in self.records_after(after):
+            # ``up_to`` caps the window at the versions that existed when the
+            # request's turn came in a batch (see :meth:`certify_batch`).
+            if up_to is not None and record.commit_version > up_to:
+                break
             if exclude_version is not None and record.commit_version == exclude_version:
                 continue
             horizon = self.certified_back_to(record.commit_version)

@@ -47,34 +47,74 @@ def cmd_run(args: argparse.Namespace) -> int:
     with cluster:
         cluster.load_initial_data(workload)
         cluster.refresh_all()
-        sessions = [cluster.session(name) for name in cluster.replicas]
-        rng = RandomStreams(args.seed)
-        committed = aborted = 0
-        for sequence in range(args.transactions):
-            session = sessions[sequence % len(sessions)]
-            if workload.run_transaction(session, rng, client_index=0,
-                                        sequence=sequence):
-                committed += 1
-            else:
-                aborted += 1
-            if (sequence + 1) % args.refresh_every == 0:
-                cluster.refresh_all()
+        if args.clients > 0:
+            # Concurrent closed-loop driver (pipelined RPC + group
+            # certification): per-client transaction counts, shared fsyncs.
+            run = cluster.run_workload(
+                workload, clients=args.clients,
+                transactions_per_client=max(1, args.transactions // args.clients),
+                seed=args.seed,
+            )
+            committed, aborted = run["commits"], run["aborts"]
+            driver: dict[str, object] = {
+                "clients": int(run["clients"]),
+                "certs_per_sec": round(float(run["certs_per_sec"]), 1),
+                "fsyncs_per_commit": round(float(run["fsyncs_per_commit"]), 3),
+            }
+        else:
+            sessions = [cluster.session(name) for name in cluster.replicas]
+            rng = RandomStreams(args.seed)
+            committed = aborted = 0
+            for sequence in range(args.transactions):
+                session = sessions[sequence % len(sessions)]
+                if workload.run_transaction(session, rng, client_index=0,
+                                            sequence=sequence):
+                    committed += 1
+                else:
+                    aborted += 1
+                if (sequence + 1) % args.refresh_every == 0:
+                    cluster.refresh_all()
+            driver = {"clients": 0}
         cluster.refresh_all()
-        summary = {
-            "workload": args.workload,
-            "transactions": args.transactions,
-            "committed": committed,
-            "aborted": aborted,
-            "system_version": cluster.system_version(),
-            "replica_versions": {name: cluster.replica_version(name)
-                                 for name in cluster.replicas},
-            "replication_horizon": cluster.replication_horizon(),
-            "shard_wals": [cluster.shard_wal_stats(i)
-                           for i in range(len(cluster.shards))],
-            "wall_clock_s": round(time.monotonic() - started, 3),
-        }
-    print(json.dumps(summary, indent=2, default=str))
+        summary = build_run_summary(cluster, workload_name=args.workload,
+                                    transactions=args.transactions,
+                                    committed=committed, aborted=aborted,
+                                    wall_clock_s=time.monotonic() - started,
+                                    driver=driver)
+    # No default=str fallback: every field is a JSON-native type by
+    # construction (build_run_summary), so the summary round-trips through
+    # json.loads with the same types it was printed with.
+    print(json.dumps(summary, indent=2))
     return 0
+
+
+def build_run_summary(cluster: LiveCluster, *, workload_name: str,
+                      transactions: int, committed: int, aborted: int,
+                      wall_clock_s: float,
+                      driver: dict[str, object] | None = None) -> dict:
+    """Typed, JSON-native run summary (what ``repro-cluster run`` prints).
+
+    Every leaf is an ``int``, ``float``, ``str`` or ``bool`` so the document
+    survives ``json.dumps``/``json.loads`` with types intact — no
+    ``default=`` coercion hiding a non-serialisable value.
+    """
+    summary = {
+        "workload": str(workload_name),
+        "transactions": int(transactions),
+        "committed": int(committed),
+        "aborted": int(aborted),
+        "system_version": int(cluster.system_version()),
+        "replica_versions": {str(name): int(cluster.replica_version(name))
+                             for name in cluster.replicas},
+        "replication_horizon": int(cluster.replication_horizon()),
+        "shard_wals": [{str(k): int(v) for k, v in
+                        cluster.shard_wal_stats(i).items()}
+                       for i in range(len(cluster.shards))],
+        "wall_clock_s": round(float(wall_clock_s), 3),
+    }
+    if driver:
+        summary["driver"] = driver
+    return summary
 
 
 def cmd_spawn(args: argparse.Namespace) -> int:
@@ -114,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--scale", type=int, default=1)
         cmd.add_argument("--seed", type=int, default=1)
         cmd.add_argument("--transactions", type=int, default=40)
+        cmd.add_argument("--clients", type=int, default=0,
+                         help="run this many concurrent closed-loop clients "
+                              "(0 = sequential round-robin driver)")
         cmd.add_argument("--refresh-every", type=int, default=8)
         cmd.add_argument("--run-dir", default=None,
                          help="keep node logs/WALs here instead of a temp dir")

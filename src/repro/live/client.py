@@ -31,6 +31,7 @@ Two callers live here:
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -59,6 +60,62 @@ class CommitInDoubt(ReproError):
 # ---------------------------------------------------------------------------
 # replica-side certifier client
 # ---------------------------------------------------------------------------
+
+
+class CommitGate:
+    """Orders concurrent commit finalizations by certification order.
+
+    When a replica runs commits concurrently, each commit's certification
+    request is a pipelined frame to the scheduler, and the scheduler admits
+    requests in frame-arrival order — so *send order is commit-version
+    order*.  But the responses come back whenever their round completes, and
+    the replica must apply the engine-side finalization (write the commit,
+    apply in-band remote writesets, advance the replica version) in version
+    order: a later commit's finalization sees the earlier commit's writeset
+    among its in-band remotes, and applying it first would priority-abort the
+    earlier commit's still-open engine transaction.
+
+    The gate hands out a **ticket at frame-send time** (inside the wire
+    client's send critical section, so ticket order provably equals send
+    order) and makes each certified commit wait until every earlier ticket
+    has finished finalizing before it re-enters the replica's state lock.
+    Tickets are tracked per-thread; every method is a no-op on threads that
+    never registered, so abort paths and read-only commits cost nothing.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active: set[int] = set()
+        self._next_ticket = 1
+        self._local = threading.local()
+
+    def register(self) -> int:
+        """Take the next ticket (called from the wire send critical section)."""
+        with self._cond:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._active.add(ticket)
+            self._local.ticket = ticket
+            return ticket
+
+    def await_turn(self) -> None:
+        """Block until every earlier ticket has completed (no lock held)."""
+        ticket = getattr(self._local, "ticket", None)
+        if ticket is None:
+            return
+        with self._cond:
+            while any(t < ticket for t in self._active):
+                self._cond.wait()
+
+    def complete(self) -> None:
+        """Release this thread's ticket, waking later commits."""
+        ticket = getattr(self._local, "ticket", None)
+        if ticket is None:
+            return
+        self._local.ticket = None
+        with self._cond:
+            self._active.discard(ticket)
+            self._cond.notify_all()
 
 
 class LiveSubscription:
@@ -95,13 +152,39 @@ class LiveCertifierClient:
     """``CertifierService`` duck-type whose backend is the scheduler process."""
 
     def __init__(self, host: str, port: int, *, replica_name: str,
-                 attempt_timeout_s: float = 10.0) -> None:
+                 attempt_timeout_s: float = 10.0, pipelined: bool = False) -> None:
         self.replica_name = replica_name
         self._client = WireClient(host, port, timeout=attempt_timeout_s,
-                                  name=f"certifier-{replica_name}")
+                                  name=f"certifier-{replica_name}",
+                                  pipelined=pipelined)
         #: Set by the replica node around a client commit: the exactly-once
         #: transaction id that rides down with the next ``certify``.
         self.next_tx_id: str | None = None
+        self._state_lock: threading.Lock | None = None
+        self._gate: CommitGate | None = None
+        #: Cumulative seconds commits spent waiting on the certify wire
+        #: round trip / on the finalization-order gate (concurrent mode).
+        self.wire_wait_s = 0.0
+        self.gate_wait_s = 0.0
+
+    def enable_concurrent_commits(self, state_lock: threading.Lock,
+                                  gate: CommitGate) -> None:
+        """Let :meth:`certify` release the replica's state lock while waiting.
+
+        ``state_lock`` is the replica-wide lock the calling worker holds
+        around every op; ``gate`` orders re-entry so finalizations happen in
+        certification order (see :class:`CommitGate`).
+        """
+        self._state_lock = state_lock
+        self._gate = gate
+
+    def finish_commit_ticket(self) -> None:
+        """Release the calling thread's gate ticket (no-op without one)."""
+        if self._gate is not None:
+            self._gate.complete()
+
+    def wire_stats(self) -> dict[str, int]:
+        return self._client.stats()
 
     # -- CertifierService surface (what TransparentProxy + Replica call) ------
 
@@ -112,7 +195,35 @@ class LiveCertifierClient:
         # Retrying is safe: with a tx_id the scheduler's exactly-once table
         # answers duplicates from the record; without one the transaction
         # never left this process, so a resend is the first delivery.
-        response = self._client.call_retrying("certify", **fields)
+        if self._state_lock is None:
+            response = self._client.call_retrying("certify", **fields)
+            return codec.decode_result(response["result"])
+        # Concurrent-commit mode: drop the replica state lock for exactly the
+        # wire wait, so other workers run while this commit's certification
+        # round is in flight.  The gate ticket is taken inside the send
+        # critical section (ticket order == send order == admission order),
+        # and re-acquiring the state lock is deferred until every earlier
+        # ticket has finalized — commit finalization happens in version order.
+        gate = self._gate
+        registered = [False]
+
+        def on_send() -> None:
+            if not registered[0]:
+                registered[0] = True
+                gate.register()
+
+        self._state_lock.release()
+        try:
+            started = time.perf_counter()
+            response = self._client.call_retrying("certify", _on_send=on_send,
+                                                  **fields)
+            responded = time.perf_counter()
+            gate.await_turn()
+            done = time.perf_counter()
+            self.wire_wait_s += responded - started
+            self.gate_wait_s += done - responded
+        finally:
+            self._state_lock.acquire()
         return codec.decode_result(response["result"])
 
     def subscribe_replica(self, replica: str, from_version: int = 0) -> LiveSubscription:
@@ -180,6 +291,14 @@ class LiveSession:
         self.in_doubt_commits = 0
         self._seq = 0
         self._in_txn = False
+        #: Statements with no result (begin/insert/update/delete) are not
+        #: sent immediately: they queue here and ride ahead of the next
+        #: synchronous statement (read/scan/commit/abort) as one
+        #: ``session_batch`` frame — halving the frame count of a typical
+        #: read-modify-write transaction.  Tradeoff: a deferred statement's
+        #: error (e.g. a write-write block) surfaces at the next synchronous
+        #: statement instead of at the deferred one.
+        self._deferred: list[dict] = []
         self._open()
 
     def _open(self) -> None:
@@ -199,6 +318,34 @@ class LiveSession:
                 raise TransactionAborted(exc.error, reason=exc.reason) from exc
             raise
 
+    def _defer(self, op: str, **fields: object) -> None:
+        self._deferred.append({"op": op, **fields})
+
+    def _sync_call(self, op: str, **fields: object) -> dict:
+        """Send ``op``, fusing any deferred statements ahead of it."""
+        if not self._deferred:
+            return self._call(op, **fields)
+        ops = self._deferred + [{"op": op, **fields}]
+        self._deferred = []
+        response = self._call("session_batch", ops=ops)
+        results = response["results"]
+        last = results[-1] if results else {}
+        if not last.get("ok", False):
+            failed_op = str(ops[max(len(results) - 1, 0)]["op"])
+            error = RemoteCallError(
+                failed_op,
+                str(last.get("error", "unknown remote error")),
+                error_type=str(last.get("error_type", "error")),
+                reason=last.get("reason"),
+            )
+            if error.error_type == "TransactionAborted":
+                self._in_txn = False
+                self.aborts += 1
+                raise TransactionAborted(error.error,
+                                         reason=error.reason) from error
+            raise error
+        return last
+
     # -- transaction control (ClientSession mirror) ---------------------------
 
     @property
@@ -206,7 +353,7 @@ class LiveSession:
         return self._in_txn
 
     def begin(self) -> None:
-        self._call("begin")
+        self._defer("begin")
         self._in_txn = True
 
     def commit(self) -> CommitOutcome:
@@ -219,7 +366,7 @@ class LiveSession:
         tx_id = f"{self.client_name}:{self._seq}"
         self._in_txn = False
         try:
-            response = self._call("commit", tx_id=tx_id)
+            response = self._sync_call("commit", tx_id=tx_id)
         except ConnectionLost as exc:
             self.in_doubt_commits += 1
             raise CommitInDoubt(tx_id, exc) from exc
@@ -232,7 +379,7 @@ class LiveSession:
 
     def abort(self) -> None:
         self._in_txn = False
-        self._call("abort")
+        self._sync_call("abort")
         self.aborts += 1
 
     @contextmanager
@@ -263,19 +410,20 @@ class LiveSession:
     # -- statement API --------------------------------------------------------
 
     def read(self, table: str, key: object) -> dict | None:
-        return self._call("read", table=table, key=key)["row"]
+        return self._sync_call("read", table=table, key=key)["row"]
 
     def scan(self, table: str) -> list[tuple[object, dict]]:
-        return [(key, row) for key, row in self._call("scan", table=table)["rows"]]
+        return [(key, row)
+                for key, row in self._sync_call("scan", table=table)["rows"]]
 
     def insert(self, table: str, key: object, **values: object) -> None:
-        self._call("insert", table=table, key=key, values=values)
+        self._defer("insert", table=table, key=key, values=values)
 
     def update(self, table: str, key: object, **values: object) -> None:
-        self._call("update", table=table, key=key, values=values)
+        self._defer("update", table=table, key=key, values=values)
 
     def delete(self, table: str, key: object) -> None:
-        self._call("delete", table=table, key=key)
+        self._defer("delete", table=table, key=key)
 
     # -- crash recovery -------------------------------------------------------
 
@@ -286,6 +434,7 @@ class LiveSession:
         transaction is gone with it, which is exactly the semantics a crashed
         database gives a client.
         """
+        self._deferred.clear()
         self._replica.close()
         deadline = time.monotonic() + deadline_s
         while True:
@@ -338,6 +487,7 @@ class LiveSession:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
+        self._deferred.clear()
         if self.session_id is not None and self._replica.connected:
             try:
                 self._replica.call("close_session", session_id=self.session_id)

@@ -86,6 +86,15 @@ class LiveCluster:
                 "shards": self.config.certifier_shards,
                 "gc_headroom_versions": self.config.certifier_gc_headroom,
             },
+            # Live-backend concurrency knobs (pipelined RPC + group
+            # certification); with ``pipeline`` off every node falls back to
+            # the strict one-in-flight protocol.
+            "live": {
+                "pipeline": self.config.live_pipeline,
+                "certify_batch_window_ms": self.config.live_certify_batch_window_ms,
+                "certify_batch_max": self.config.live_certify_batch_max,
+                "replica_workers": self.config.live_replica_workers,
+            },
         }
         self.spec_path.write_text(json.dumps(spec, indent=2), encoding="utf-8")
 
@@ -99,6 +108,7 @@ class LiveCluster:
             self.shards.append(self.harness.spawn(
                 "certifier-shard", name,
                 ["--shard-id", str(shard_id), "--wal", f"{name}.wal",
+                 "--fsync-floor-ms", str(self.config.live_wal_fsync_floor_ms),
                  *self._shard_args.get(shard_id, [])],
                 timeout_s=timeout,
             ))
@@ -150,6 +160,102 @@ class LiveCluster:
             workload.setup(loader)
         self.refresh_all()
 
+    # -- closed-loop load driver ----------------------------------------------
+
+    def run_workload(self, workload, *, clients: int = 4,
+                     transactions_per_client: int = 50, seed: int = 1,
+                     client_prefix: str = "load") -> dict:
+        """Drive ``workload`` with ``clients`` concurrent closed-loop clients.
+
+        Each client is one thread with its own :class:`LiveSession` pinned to
+        replica ``i % num_replicas`` (the paper's client routing), running
+        ``transactions_per_client`` transactions back to back.  Returns a
+        summary with the commit rate and the fsync economics of the run —
+        ``fsyncs_per_commit`` below 1.0 is group certification at work: more
+        than one committed transaction shared each durable WAL write.
+        """
+        import threading
+        import time as _time
+
+        from repro.errors import TransactionAborted
+        from repro.live.client import CommitInDoubt
+        from repro.sim.rng import RandomStreams
+
+        if not self._started:
+            raise RuntimeError("cluster is not started")
+        names = list(self.replicas)
+        # Client names must be unique across runs on one cluster: a reused
+        # name replays old "<client>:<seq>" transaction ids, and the
+        # scheduler's exactly-once table would answer the new commits from
+        # the stale records.
+        run_id = self._next_client
+        self._next_client += 1
+        client_prefix = f"{client_prefix}{run_id}"
+        before = self.scheduler_stats()
+        results: list[dict | None] = [None] * clients
+        failures: list[BaseException] = []
+        barrier = threading.Barrier(clients + 1)
+
+        def run_client(index: int) -> None:
+            replica = names[index % len(names)]
+            session = self.session(replica,
+                                   client_name=f"{client_prefix}-{index}")
+            commits = aborts = in_doubt = 0
+            rng = RandomStreams(seed + index)
+            try:
+                barrier.wait()
+                for sequence in range(transactions_per_client):
+                    try:
+                        committed = workload.run_transaction(
+                            session, rng, client_index=index,
+                            sequence=sequence)
+                    except TransactionAborted:
+                        aborts += 1
+                        continue
+                    except CommitInDoubt:
+                        in_doubt += 1
+                        continue
+                    if committed:
+                        commits += 1
+                    else:
+                        aborts += 1
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failures.append(exc)
+            finally:
+                results[index] = {"commits": commits, "aborts": aborts,
+                                  "in_doubt": in_doubt}
+                session.close()
+
+        threads = [threading.Thread(target=run_client, args=(index,),
+                                    name=f"{client_prefix}-{index}", daemon=True)
+                   for index in range(clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = _time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = _time.perf_counter() - started
+        if failures:
+            raise failures[0]
+        after = self.scheduler_stats()
+        commits = sum(r["commits"] for r in results if r)
+        aborts = sum(r["aborts"] for r in results if r)
+        in_doubt = sum(r["in_doubt"] for r in results if r)
+        fsyncs = after.get("fsyncs", 0) - before.get("fsyncs", 0)
+        return {
+            "clients": clients,
+            "transactions": clients * transactions_per_client,
+            "commits": commits,
+            "aborts": aborts,
+            "in_doubt": in_doubt,
+            "elapsed_s": elapsed,
+            "certs_per_sec": commits / elapsed if elapsed > 0 else 0.0,
+            "fsyncs": fsyncs,
+            "fsyncs_per_commit": fsyncs / commits if commits else float("nan"),
+            "scheduler_stats": after,
+        }
+
     # -- cluster-wide control plane -------------------------------------------
 
     @staticmethod
@@ -198,6 +304,26 @@ class LiveCluster:
         shard = self.shards[shard_id]
         with WireClient("127.0.0.1", shard.port, name="cluster-ctl") as ctl:
             return self._unwrap(ctl.call("wal_stats"))
+
+    def shard_stats(self, shard_id: int) -> dict:
+        shard = self.shards[shard_id]
+        with WireClient("127.0.0.1", shard.port, name="cluster-ctl") as ctl:
+            return self._unwrap(ctl.call("stats"))
+
+    def stats(self) -> dict:
+        """One merged observability snapshot across every node in the cluster.
+
+        Collects each node's ``stats`` op: the scheduler's service /
+        exactly-once / certification-round counters, each replica's proxy stats
+        plus certifier-wire counters, and each shard's WAL + server counters.
+        """
+        return {
+            "scheduler": self.scheduler_stats(),
+            "replicas": {name: self.replica_stats(name)
+                         for name in self.replicas},
+            "shards": {shard_id: self.shard_stats(shard_id)
+                       for shard_id in range(len(self.shards))},
+        }
 
     def replicas_consistent(self, tables: Iterable[str]) -> bool:
         """After refreshes, do all replicas hold identical table states?"""

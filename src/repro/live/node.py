@@ -30,6 +30,30 @@ protocol of :mod:`repro.live.wire` over asyncio TCP:
     insert / update / delete / commit / abort) plus the maintenance surface
     (refresh, vacuum, dump_table) the cluster driver uses.
 
+Concurrency (the ``live.pipeline`` spec switch, default on):
+
+* every server accepts request-id (``rid``) tagged frames and answers them
+  **out of order** — a tagged request is dispatched as its own task, so one
+  connection carries many in-flight calls.  ``rid``-less frames keep the
+  original strict read→reply→read discipline per connection.
+* the **scheduler** runs all service work on a single service thread (the
+  middleware objects are not thread-safe) and funnels concurrent ``certify``
+  requests through a batcher: pending requests are cut into *rounds* (time/
+  size policy from :mod:`repro.transport`) and certified via the service's
+  ``certify_batch``, so every commit in a round shares one WAL append + one
+  real fsync per touched shard.  With a zero window this is *natural* group
+  commit — a round accumulates exactly while the previous round's WAL round
+  trip + fsync is in flight.
+* a **replica** runs client ops on a small thread pool under one
+  replica-wide state lock; the lock is released only while a commit waits on
+  its certification round trip, so commits overlap on the wire while all
+  local work stays serialized.  A :class:`~repro.live.client.CommitGate`
+  finalizes commits in certification (= send = global version) order.
+
+With ``live.pipeline`` off every node behaves exactly like the original
+strict one-in-flight protocol — the unbatched baseline the live benchmark
+sweep compares against.
+
 Readiness is announced by a machine-readable handshake line on stdout
 (:data:`~repro.live.harness.READY_PREFIX` + JSON with the kernel-assigned
 port) — nodes bind to port 0 unless a restart pins the previous port.
@@ -50,16 +74,73 @@ import argparse
 import asyncio
 import json
 import sys
+import threading
 import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 
+from repro.engine.locks import LockBlockedError
+from repro.errors import TransactionAborted
 from repro.live import codec
 from repro.live.harness import READY_PREFIX
-from repro.live.wire import RemoteCallError, read_frame, write_frame
+from repro.live.wire import (
+    RemoteCallError,
+    WireError,
+    encode_frame,
+    read_frame,
+)
 
-#: Returned by a role handler to make the connection hang forever (the
+#: Returned by a role handler to make the whole process hang forever (the
 #: deterministic "wedge" the crash tests SIGKILL through).
 WEDGE = object()
+
+
+class ServerStats:
+    """Per-node wire counters, served by every role's ``stats`` op."""
+
+    def __init__(self) -> None:
+        self.connections = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.in_flight = 0
+        self.in_flight_high_water = 0
+
+    def begin_request(self) -> None:
+        self.in_flight += 1
+        if self.in_flight > self.in_flight_high_water:
+            self.in_flight_high_water = self.in_flight
+
+    def end_request(self) -> None:
+        self.in_flight -= 1
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "in_flight_high_water": self.in_flight_high_water,
+        }
+
+
+def _error_envelope(exc: Exception, *, unexpected_trace: bool = True) -> dict:
+    """The wire error envelope for ``exc`` (same shape on every path)."""
+    from repro.errors import TransactionAborted
+
+    if isinstance(exc, RemoteCallError):
+        return {"ok": False, "error": exc.error,
+                "error_type": exc.error_type, "reason": exc.reason}
+    if isinstance(exc, TransactionAborted):
+        return {"ok": False, "error": str(exc),
+                "error_type": "TransactionAborted", "reason": exc.reason}
+    from repro.errors import ReproError
+
+    if unexpected_trace and not isinstance(exc, ReproError):
+        traceback.print_exc(file=sys.stderr)
+    return {"ok": False, "error": str(exc), "error_type": type(exc).__name__}
 
 
 # ---------------------------------------------------------------------------
@@ -68,16 +149,23 @@ WEDGE = object()
 
 
 class CertifierShardRole:
-    """Durable WAL server for one certification shard."""
+    """Durable WAL server for one certification shard.
+
+    Handled inline on the event loop (no executor): the WAL fsync *is* the
+    serialization point, and inline handling keeps the wedge fault points
+    exactly where PR 8 put them.
+    """
 
     def __init__(self, args: argparse.Namespace) -> None:
         from repro.live.wal import BatchWalFile
 
         self.shard_id = args.shard_id
-        self.wal = BatchWalFile(args.wal or f"{args.name}.wal")
+        self.wal = BatchWalFile(args.wal or f"{args.name}.wal",
+                                fsync_floor_ms=args.fsync_floor_ms)
         self.wedge_before_sync = args.wedge_before_sync
         self.wedge_after_sync = args.wedge_after_sync
         self.append_ops = 0
+        self.server_stats = ServerStats()
 
     def handle(self, op: str, payload: dict):
         if op == "wal_append":
@@ -99,6 +187,9 @@ class CertifierShardRole:
             return {"applied": applied, "last_seq": self.wal.last_seq}
         if op == "wal_stats":
             return self.wal.stats()
+        if op == "stats":
+            return {"wal": self.wal.stats(), "append_ops": self.append_ops,
+                    "server": self.server_stats.as_dict()}
         if op == "ping":
             return {"role": "certifier-shard", "shard_id": self.shard_id}
         raise RemoteCallError(op, f"unknown certifier-shard op {op!r}")
@@ -112,16 +203,102 @@ class CertifierShardRole:
 # ---------------------------------------------------------------------------
 
 
+class _CertifyBatcher:
+    """Collects concurrent ``certify`` requests into certification rounds.
+
+    Lives on the event loop; submission parks an ``asyncio`` future, the
+    flusher loop cuts rounds by the configured flush policy and runs each
+    round as **one** job on the scheduler's service thread.  With a zero
+    window the cut happens as soon as the service thread can take it —
+    requests arriving while a round's WAL append + fsync is in flight simply
+    join the next round (natural group commit, no added latency).
+    """
+
+    def __init__(self, role: "SchedulerRole", loop: asyncio.AbstractEventLoop) -> None:
+        from repro.transport import ExplicitFlushPolicy, TimeWindowFlushPolicy
+
+        self._role = role
+        self._loop = loop
+        self._pending: list[tuple[dict, asyncio.Future]] = []
+        self._wake = asyncio.Event()
+        self._window_ms = role.batch_window_ms
+        if self._window_ms > 0:
+            self._policy = TimeWindowFlushPolicy(self._window_ms,
+                                                 max_batch=role.batch_max)
+        else:
+            self._policy = ExplicitFlushPolicy(role.batch_max)
+        #: Seconds the service thread spent executing rounds (the rest of
+        #: wall time the batcher was waiting for requests to arrive).
+        self.busy_s = 0.0
+        self._task = loop.create_task(self._run())
+
+    async def submit(self, payload: dict) -> dict:
+        future: asyncio.Future = self._loop.create_future()
+        self._pending.append((payload, future))
+        self._wake.set()
+        return await future
+
+    async def _run(self) -> None:
+        while True:
+            if not self._pending:
+                self._wake.clear()
+                await self._wake.wait()
+            if self._window_ms > 0:
+                # Accumulate until the policy fires (window elapsed or batch
+                # cap reached) — or until arrivals go quiescent: when every
+                # certify the scheduler has read is already in ``pending``
+                # and nothing new landed across two polls, waiting out the
+                # rest of the window only adds latency, so cut early.
+                started = self._loop.time()
+                step = max(self._window_ms / 8000.0, 0.00025)
+                stable_polls = 0
+                last_seen = len(self._pending)
+                while not self._policy.should_flush(
+                        len(self._pending),
+                        (self._loop.time() - started) * 1000.0):
+                    await asyncio.sleep(step)
+                    pending = len(self._pending)
+                    in_flight = self._role.server_stats.in_flight
+                    if pending == last_seen and pending >= in_flight:
+                        stable_polls += 1
+                        if stable_polls >= 2:
+                            break
+                    else:
+                        stable_polls = 0
+                    last_seen = pending
+            cap = self._policy.max_batch or len(self._pending)
+            batch = self._pending[:cap]
+            del self._pending[:len(batch)]
+            payloads = [payload for payload, _ in batch]
+            round_started = self._loop.time()
+            try:
+                responses = await self._loop.run_in_executor(
+                    self._role.service_pool,
+                    self._role.certify_batch_payloads, payloads)
+            except Exception as exc:  # noqa: BLE001 - per-round boundary
+                for _, future in batch:
+                    if not future.done():
+                        future.set_result(_error_envelope(exc))
+                continue
+            finally:
+                self.busy_s += self._loop.time() - round_started
+            for (_, future), response in zip(batch, responses):
+                if not future.done():
+                    future.set_result(response)
+
+
 class SchedulerRole:
     """Certification coordinator + exactly-once table + routing directory."""
 
     def __init__(self, args: argparse.Namespace) -> None:
+        from repro.core.group_commit import GroupCommitStats
         from repro.live.wal import RemoteWalDevice
         from repro.middleware.certifier import CertifierConfig
         from repro.middleware.sharded_certifier import make_certifier_service
 
         spec = _load_spec(args)
         cert = spec.get("certifier", {})
+        live = spec.get("live", {})
         shards = [_parse_addr(a) for a in (args.shard or [])]
         config = CertifierConfig(
             durability_enabled=cert.get("durability_enabled", True),
@@ -147,6 +324,21 @@ class SchedulerRole:
             self.service = make_certifier_service(config, log_device=self.devices[0])
         else:
             self.service = make_certifier_service(config, log_devices=list(self.devices))
+        self.pipeline = bool(live.get("pipeline", True))
+        self.batch_window_ms = float(live.get("certify_batch_window_ms", 0.0))
+        self.batch_max = int(live.get("certify_batch_max", 64))
+        #: Certification-round size histogram (how many concurrent certifies
+        #: shared one round, and with it one WAL fsync per touched shard).
+        self.batch_stats = GroupCommitStats()
+        #: Seconds spent inside ``certify_batch_payloads`` on the service
+        #: thread (excludes the executor hand-off either way).
+        self.certify_exec_s = 0.0
+        #: All service work runs on this one thread — the middleware objects
+        #: are not thread-safe, and one writer thread *is* the group-commit
+        #: model: everything pending when it frees up forms the next round.
+        self.service_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="scheduler-service")
+        self._batcher: _CertifyBatcher | None = None
         #: replica name -> server-side writeset subscription.
         self.subscriptions: dict[str, object] = {}
         #: replica name -> (host, port) routing directory.
@@ -156,6 +348,22 @@ class SchedulerRole:
         self.tx_admits = 0
         self.duplicate_tx_hits = 0
         self.status_queries = 0
+        self.server_stats = ServerStats()
+
+    # -- async plumbing -------------------------------------------------------
+
+    def setup_async(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self.pipeline:
+            self._batcher = _CertifyBatcher(self, loop)
+
+    async def dispatch(self, op: str, payload: dict,
+                       loop: asyncio.AbstractEventLoop):
+        if not self.pipeline:
+            return self.handle(op, payload)
+        if op == "certify" and self._batcher is not None:
+            return await self._batcher.submit(payload)
+        return await loop.run_in_executor(self.service_pool,
+                                          self.handle, op, payload)
 
     # -- request dispatch -----------------------------------------------------
 
@@ -218,44 +426,127 @@ class SchedulerRole:
                 "duplicate_tx_hits": self.duplicate_tx_hits,
                 "status_queries": self.status_queries,
                 "wal_resent_batches": sum(d.resent_batches for d in self.devices),
+                "pipeline": self.pipeline,
+                "fsyncs": service.fsync_count,
+                # Transactions that did not pay their own fsync: committed
+                # log records minus synchronous writes (>0 only when rounds
+                # coalesce; the paper's writesets-per-fsync win, measured).
+                "fsync_coalesced_transactions": max(
+                    0, self._records_flushed() - service.fsync_count),
+                "certify_batching": {
+                    "busy_s": round(
+                        getattr(self._batcher, "busy_s", 0.0), 6)
+                    if self._batcher is not None else 0.0,
+                    "exec_s": round(self.certify_exec_s, 6),
+                    "rounds": self.batch_stats.flushes,
+                    "requests": self.batch_stats.records_flushed,
+                    "average_round_size": self.batch_stats.average_batch_size,
+                    "largest_round": self.batch_stats.largest_batch,
+                    "round_size_histogram": {
+                        str(k): v for k, v in
+                        sorted(self.batch_stats.batch_size_histogram.items())},
+                },
+                "wal_clients": [d.wire_stats() for d in self.devices],
+                "server": self.server_stats.as_dict(),
             }
         if op == "ping":
             return {"role": "scheduler", "version": service.system_version}
         raise RemoteCallError(op, f"unknown scheduler op {op!r}")
 
+    def _records_flushed(self) -> int:
+        return self.service.stats_snapshot().flush.records_flushed
+
     def _certify(self, payload: dict) -> dict:
         tx_id = payload.get("tx_id")
-        request = codec.decode_request(payload["request"])
         if tx_id is not None and tx_id in self.tx_table:
-            # Already decided: answer from the record, never re-admit.  The
-            # client protocol resolves committed retries via commit_status
-            # before re-executing, so this branch is a safety net, not the
-            # primary exactly-once mechanism.
             self.duplicate_tx_hits += 1
-            recorded = self.tx_table[tx_id]
-            remote = self.service.fetch_remote_writesets(
-                request.replica_version, replica=request.origin_replica or None)
-            return {
-                "result": {
-                    "decision": "commit" if recorded["committed"] else "abort",
-                    "tx_commit_version": recorded["commit_version"],
-                    "remote_writesets": [codec.encode_remote_info(i) for i in remote],
-                    "forced_abort": recorded.get("forced_abort", False),
-                    "conflicting_version": recorded.get("conflicting_version"),
-                },
-                "duplicate": True,
-            }
+            return self._duplicate_response(payload)
+        request = codec.decode_request(payload["request"])
         result = self.service.certify(request)
-        if tx_id is not None:
-            if result.committed:
-                self.tx_admits += 1
-            self.tx_table[tx_id] = {
-                "committed": result.committed,
-                "commit_version": result.tx_commit_version,
-                "forced_abort": result.forced_abort,
-                "conflicting_version": result.conflicting_version,
-            }
+        self._record_tx(tx_id, result)
         return {"result": codec.encode_result(result), "duplicate": False}
+
+    def _record_tx(self, tx_id: str | None, result) -> None:
+        if tx_id is None:
+            return
+        if result.committed:
+            self.tx_admits += 1
+        self.tx_table[tx_id] = {
+            "committed": result.committed,
+            "commit_version": result.tx_commit_version,
+            "forced_abort": result.forced_abort,
+            "conflicting_version": result.conflicting_version,
+        }
+
+    def _duplicate_response(self, payload: dict) -> dict:
+        # Already decided: answer from the record, never re-admit.  The
+        # client protocol resolves committed retries via commit_status
+        # before re-executing, so this branch is a safety net, not the
+        # primary exactly-once mechanism.
+        request = codec.decode_request(payload["request"])
+        recorded = self.tx_table[payload["tx_id"]]
+        remote = self.service.fetch_remote_writesets(
+            request.replica_version, replica=request.origin_replica or None)
+        return {
+            "result": {
+                "decision": "commit" if recorded["committed"] else "abort",
+                "tx_commit_version": recorded["commit_version"],
+                "remote_writesets": [codec.encode_remote_info(i) for i in remote],
+                "forced_abort": recorded.get("forced_abort", False),
+                "conflicting_version": recorded.get("conflicting_version"),
+            },
+            "duplicate": True,
+        }
+
+    def certify_batch_payloads(self, payloads: list[dict]) -> list[dict]:
+        """One certification round, on the service thread.
+
+        Splits the round into fresh requests (certified through the
+        service's ``certify_batch``, sharing its flushes) and duplicates
+        (answered from the exactly-once table, exactly as sequentially) —
+        in batch order, so a resend that landed in the same round as its
+        original is still deduplicated.
+        """
+        exec_started = time.perf_counter()
+        self.batch_stats.record_flush(len(payloads))
+        responses: list[dict | None] = [None] * len(payloads)
+        fresh: list[tuple[int, dict]] = []
+        first_index: dict[str, int] = {}
+        for i, payload in enumerate(payloads):
+            tx_id = payload.get("tx_id")
+            if tx_id is not None and (tx_id in self.tx_table or tx_id in first_index):
+                continue  # answered from the record after the fresh pass
+            if tx_id is not None:
+                first_index[tx_id] = i
+            fresh.append((i, payload))
+        requests = []
+        for i, payload in list(fresh):
+            try:
+                requests.append(codec.decode_request(payload["request"]))
+            except Exception as exc:  # noqa: BLE001 - malformed request
+                responses[i] = _error_envelope(exc)
+                fresh.remove((i, payload))
+        outcomes = self.service.certify_batch(requests) if requests else []
+        for (i, payload), outcome in zip(fresh, outcomes):
+            if isinstance(outcome, Exception):
+                responses[i] = _error_envelope(outcome, unexpected_trace=False)
+                continue
+            self._record_tx(payload.get("tx_id"), outcome)
+            responses[i] = {"result": codec.encode_result(outcome),
+                            "duplicate": False}
+        for i, payload in enumerate(payloads):
+            if responses[i] is not None:
+                continue
+            tx_id = payload["tx_id"]
+            if tx_id in self.tx_table:
+                self.duplicate_tx_hits += 1
+                responses[i] = self._duplicate_response(payload)
+            else:
+                # The original in this very round failed before recording an
+                # outcome; answer the duplicate identically.
+                responses[i] = dict(responses[first_index[tx_id]])
+        self.certify_exec_s += time.perf_counter() - exec_started
+        return responses  # type: ignore[return-value]
 
     def describe(self) -> dict:
         return {"shards": self.service.config.shards}
@@ -274,7 +565,7 @@ class ReplicaRole:
         from repro.engine.database import Database
         from repro.engine.log_device import FileLogDevice
         from repro.engine.table import TableSchema
-        from repro.live.client import LiveCertifierClient
+        from repro.live.client import CommitGate, LiveCertifierClient
         from repro.middleware.client_api import ClientSession
         from repro.middleware.replica import Replica
 
@@ -282,7 +573,10 @@ class ReplicaRole:
         if args.scheduler is None:
             raise SystemExit("replica role requires --scheduler host:port")
         host, port = _parse_addr(args.scheduler)
+        live = spec.get("live", {})
         self.name = args.name
+        self.pipeline = bool(live.get("pipeline", True))
+        self.workers = int(live.get("replica_workers", 8)) if self.pipeline else 1
         self.wedge_before_commit_op = args.wedge_before_commit_op
         self.wedge_after_commit_op = args.wedge_after_commit_op
         self.commit_ops = 0
@@ -297,7 +591,16 @@ class ReplicaRole:
                 columns=tuple(schema["columns"]),
                 primary_key=schema.get("primary_key", "id"),
             ))
-        self.cert_client = LiveCertifierClient(host, port, replica_name=self.name)
+        self.cert_client = LiveCertifierClient(host, port, replica_name=self.name,
+                                               pipelined=self.pipeline)
+        #: Replica-wide state lock: every op holds it; a commit releases it
+        #: only while its certification round trip is in flight, so commits
+        #: overlap on the wire while all local state stays single-threaded.
+        self.state_lock = threading.Lock()
+        if self.pipeline:
+            self.cert_client.enable_concurrent_commits(self.state_lock, CommitGate())
+        self._pool = ThreadPoolExecutor(max_workers=self.workers,
+                                        thread_name_prefix=f"{self.name}-worker")
         system = SystemKind(spec.get("system", "tashkent-mw"))
         self.replica = Replica(
             self.name,
@@ -311,6 +614,36 @@ class ReplicaRole:
         #: session id -> ClientSession (the unmodified client API object).
         self.sessions: dict[int, object] = {}
         self._next_session = 1
+        self.server_stats = ServerStats()
+
+    # -- async plumbing -------------------------------------------------------
+
+    #: Ops that either block on another node (commit certifies over the
+    #: wire, refresh pulls writesets) or do heavy table-sized work.  Only
+    #: these go to the worker pool; everything else is local micro-work
+    #: that is cheaper to run inline than to pay two thread hand-offs for.
+    _POOLED_OPS = frozenset({"commit", "refresh", "vacuum", "scan",
+                             "dump_table"})
+
+    async def dispatch(self, op: str, payload: dict,
+                       loop: asyncio.AbstractEventLoop):
+        if not self.pipeline:
+            return self.handle(op, payload)
+        pooled = op in self._POOLED_OPS or (
+            op == "session_batch"
+            and any(entry.get("op") in self._POOLED_OPS
+                    for entry in payload.get("ops", ())))
+        if pooled:
+            return await loop.run_in_executor(self._pool, self._locked_handle,
+                                              op, payload)
+        # Inline on the event loop.  Safe: the state lock is only ever held
+        # for local CPU work (a commit releases it across its wire wait), so
+        # this acquire cannot stall the loop behind a network round trip.
+        return self._locked_handle(op, payload)
+
+    def _locked_handle(self, op: str, payload: dict):
+        with self.state_lock:
+            return self.handle(op, payload)
 
     # -- request dispatch -----------------------------------------------------
 
@@ -327,6 +660,8 @@ class ReplicaRole:
         if op in ("begin", "read", "scan", "insert", "update", "delete",
                   "commit", "abort"):
             return self._session_op(op, payload)
+        if op == "session_batch":
+            return self._session_batch(payload)
         if op == "refresh":
             return {"applied": self.replica.refresh()}
         if op == "vacuum":
@@ -343,11 +678,42 @@ class ReplicaRole:
             return {"version": self.replica.replica_version}
         if op == "stats":
             return {"stats": self.replica.stats_snapshot(),
-                    "commit_ops": self.commit_ops}
+                    "commit_ops": self.commit_ops,
+                    "pipeline": self.pipeline,
+                    "workers": self.workers,
+                    "certifier_wire": self.cert_client.wire_stats(),
+                    "commit_wire_wait_s": self.cert_client.wire_wait_s,
+                    "commit_gate_wait_s": self.cert_client.gate_wait_s,
+                    "server": self.server_stats.as_dict()}
         if op == "ping":
             return {"role": "replica", "name": self.name,
                     "version": self.replica.replica_version}
         raise RemoteCallError(op, f"unknown replica op {op!r}")
+
+    def _session_batch(self, payload: dict):
+        """Execute a fused list of session statements as one frame.
+
+        The driver's :class:`LiveSession` defers resultless statements and
+        ships them ahead of the next synchronous one, cutting the per-
+        transaction frame count.  Statements run in order; the first failure
+        stops the batch and its error envelope is returned in place — the
+        same outcome the client would have observed sending the statements
+        as individual frames and halting at the error.
+        """
+        results: list[dict] = []
+        for entry in payload["ops"]:
+            sub = dict(entry)
+            sub_op = sub.pop("op")
+            sub["session_id"] = payload["session_id"]
+            try:
+                result = self._session_op(sub_op, sub)
+            except Exception as exc:  # noqa: BLE001 - per-statement boundary
+                results.append(_error_envelope(exc))
+                break
+            if result is WEDGE:
+                return WEDGE
+            results.append({"ok": True, **(result or {})})
+        return {"results": results}
 
     def _session_op(self, op: str, payload: dict):
         session = self.sessions.get(payload["session_id"])
@@ -362,14 +728,25 @@ class ReplicaRole:
         if op == "scan":
             rows = session.scan(payload["table"])
             return {"rows": [[key, dict(row)] for key, row in rows]}
-        if op == "insert":
-            session.insert(payload["table"], payload["key"], **payload.get("values", {}))
-            return {}
-        if op == "update":
-            session.update(payload["table"], payload["key"], **payload.get("values", {}))
-            return {}
-        if op == "delete":
-            session.delete(payload["table"], payload["key"])
+        if op in ("insert", "update", "delete"):
+            try:
+                if op == "insert":
+                    session.insert(payload["table"], payload["key"],
+                                   **payload.get("values", {}))
+                elif op == "update":
+                    session.update(payload["table"], payload["key"],
+                                   **payload.get("values", {}))
+                else:
+                    session.delete(payload["table"], payload["key"])
+            except LockBlockedError as exc:
+                # No-wait write-write policy.  The functional/sim stacks park
+                # a blocked writer in the lock manager's wait queue, but a
+                # live worker thread cannot sit inside the replica state lock
+                # waiting for the holder's commit — abort the requester
+                # instead (first-updater wins; the loser retries with a fresh
+                # transaction, which is how the driver counts it).
+                session.abort()
+                raise TransactionAborted(str(exc), reason="ww-block") from exc
             return {}
         if op == "abort":
             session.abort()
@@ -388,6 +765,9 @@ class ReplicaRole:
             outcome = session.commit()
         finally:
             self.cert_client.next_tx_id = None
+            # Release this commit's finalization-order ticket (no-op when the
+            # commit was read-only or never reached certification).
+            self.cert_client.finish_commit_ticket()
         if (self.wedge_after_commit_op
                 and self.commit_ops == self.wedge_after_commit_op):
             # Killed here, the transaction IS committed (admitted, durable,
@@ -418,44 +798,83 @@ def _parse_addr(addr: str) -> tuple[str, int]:
 
 
 async def _serve(role, args: argparse.Namespace) -> None:
+    loop = asyncio.get_running_loop()
+    stats: ServerStats = getattr(role, "server_stats", None) or ServerStats()
+    role.server_stats = stats
+    setup = getattr(role, "setup_async", None)
+    if setup is not None:
+        setup(loop)
+    role_dispatch = getattr(role, "dispatch", None)
+
     async def handle_connection(reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        stats.connections += 1
+        tasks: set[asyncio.Task] = set()
+
+        def account_in(nbytes: int) -> None:
+            stats.frames_in += 1
+            stats.bytes_in += nbytes
+
+        write_lock = asyncio.Lock()
+
+        async def send(response: dict) -> None:
+            data = encode_frame(response)
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+            stats.frames_out += 1
+            stats.bytes_out += len(data)
+
+        async def process(op: str, payload: dict, rid: int | None) -> None:
+            stats.begin_request()
+            try:
+                if role_dispatch is not None:
+                    response = await role_dispatch(op, payload, loop)
+                else:
+                    response = role.handle(op, payload)
+            except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+                response = _error_envelope(exc)
+            finally:
+                stats.end_request()
+            if response is WEDGE:
+                # Freeze the WHOLE process, event loop included — a
+                # task-level wait would let retries on fresh connections
+                # be served, and the crash point would quietly heal
+                # itself before the kill -9 lands.
+                print(f"WEDGED op={op}", file=sys.stderr, flush=True)
+                while True:
+                    time.sleep(3600)
+            if isinstance(response, dict) and "ok" not in response:
+                response = {"ok": True, **response}
+            if rid is not None:
+                response = {**response, "rid": rid}
+            try:
+                await send(response)
+            except (ConnectionError, OSError):
+                pass  # client went away; its retry path owns recovery
+
         try:
             while True:
-                message = await read_frame(reader)
+                message = await read_frame(reader, on_bytes=account_in)
                 if message is None:
                     break
                 op = str(message.pop("op", ""))
-                try:
-                    response = role.handle(op, message)
-                except RemoteCallError as exc:
-                    response = {"ok": False, "error": exc.error,
-                                "error_type": exc.error_type, "reason": exc.reason}
-                except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
-                    from repro.errors import TransactionAborted
-
-                    if isinstance(exc, TransactionAborted):
-                        response = {"ok": False, "error": str(exc),
-                                    "error_type": "TransactionAborted",
-                                    "reason": exc.reason}
-                    else:
-                        traceback.print_exc(file=sys.stderr)
-                        response = {"ok": False, "error": str(exc),
-                                    "error_type": type(exc).__name__}
-                if response is WEDGE:
-                    # Freeze the WHOLE process, event loop included — a
-                    # task-level wait would let retries on fresh connections
-                    # be served, and the crash point would quietly heal
-                    # itself before the kill -9 lands.
-                    print(f"WEDGED op={op}", file=sys.stderr, flush=True)
-                    while True:
-                        time.sleep(3600)
-                if isinstance(response, dict) and "ok" not in response:
-                    response = {"ok": True, **response}
-                await write_frame(writer, response)
-        except (ConnectionError, asyncio.IncompleteReadError):
+                rid = message.pop("rid", None)
+                if rid is None:
+                    # rid-less frames keep the strict one-in-flight
+                    # discipline: answered before the next frame is read.
+                    await process(op, message, None)
+                else:
+                    # Multiplexed: each tagged request is its own task; the
+                    # response carries the rid and may overtake others.
+                    task = loop.create_task(process(op, message, int(rid)))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError, WireError):
             pass
         finally:
+            for task in list(tasks):
+                task.cancel()
             writer.close()
 
     server = await asyncio.start_server(handle_connection, args.host, args.port)
@@ -497,6 +916,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scheduler", default=None, metavar="HOST:PORT")
     # Deterministic fault points (see module docstring): wedge = stop
     # responding at the Nth op so the harness can land a kill -9 exactly there.
+    parser.add_argument("--fsync-floor-ms", type=float, default=0.0,
+                        help="wall-clock floor per WAL batch fsync (disk emulation)")
     parser.add_argument("--wedge-before-sync", type=int, default=0)
     parser.add_argument("--wedge-after-sync", type=int, default=0)
     parser.add_argument("--wedge-before-commit-op", type=int, default=0)
@@ -505,6 +926,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> None:
+    # Node processes mix an asyncio event loop with service/worker threads;
+    # the default 5 ms GIL switch interval lets the loop thread starve a
+    # worker that just finished blocking IO (observed: a 0.25 ms WAL round
+    # trip ballooning to ~4 ms under load).  1 ms of scheduling granularity
+    # keeps cross-thread hand-offs prompt at negligible switching cost.
+    sys.setswitchinterval(0.001)
     args = build_parser().parse_args(argv)
     role = ROLES[args.role](args)
     try:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import binascii
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.live.wire import WireClient
@@ -39,8 +40,13 @@ from repro.live.wire import WireClient
 class BatchWalFile:
     """The shard process's append-only, batch-sequenced WAL file."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, fsync_floor_ms: float = 0.0) -> None:
         self.path = Path(path)
+        #: Wall-clock floor on one ``append_batch`` (write + fsync).  Container
+        #: filesystems complete fsync in ~0.1 ms; the floor emulates the
+        #: paper's measured disk (~8 ms per fsync) so wall-clock benchmarks
+        #: see the fsync-bound regime group commit exists to amortize.
+        self.fsync_floor_ms = fsync_floor_ms
         self.last_seq = 0
         self.batches = 0
         self.records = 0
@@ -68,11 +74,16 @@ class BatchWalFile:
         """Durably append one batch; returns False when it was a duplicate."""
         if seq <= self.last_seq:
             self.duplicate_batches_skipped += 1
-            return False
+            return False  # no write happens, so no floor applies either
+        started = time.perf_counter()
         entry = {"seq": seq, "payloads": [binascii.hexlify(p).decode() for p in payloads]}
         self._file.write(json.dumps(entry, separators=(",", ":")).encode() + b"\n")
         self._file.flush()
         os.fsync(self._file.fileno())
+        if self.fsync_floor_ms > 0:
+            shortfall = self.fsync_floor_ms / 1000.0 - (time.perf_counter() - started)
+            if shortfall > 0:
+                time.sleep(shortfall)
         self.last_seq = seq
         self.batches += 1
         self.records += len(payloads)
@@ -134,6 +145,10 @@ class RemoteWalDevice:
         self._sync_count = 0
         self._bytes_written = 0
         self.resent_batches = 0
+        #: Cumulative wall-clock seconds spent inside ``sync()`` — the shard
+        #: round trip including its fsync.  Divide by ``sync_count`` for the
+        #: per-flush durability latency the group-commit batcher amortises.
+        self.sync_wait_s = 0.0
 
     # -- LogDevice interface --------------------------------------------------
 
@@ -142,16 +157,25 @@ class RemoteWalDevice:
         self._bytes_written += len(payload)
 
     def sync(self) -> None:
+        started = time.perf_counter()
         self._seq += 1
         payloads = [binascii.hexlify(p).decode() for p in self._pending]
-        calls_before = self._client.reconnects
+        # Count actual resends (a call retried after its frame may have
+        # reached the shard), not clean reconnects of an idle connection.
+        resends_before = self._client.resends
         self._client.call_retrying(
             "wal_append", seq=self._seq, payloads=payloads, deadline_s=None,
         )
-        if self._client.reconnects > calls_before:
+        if self._client.resends > resends_before:
             self.resent_batches += 1
         self._pending.clear()
         self._sync_count += 1
+        self.sync_wait_s += time.perf_counter() - started
+
+    def wire_stats(self) -> dict[str, int | float]:
+        return {"shard_id": self.shard_id,
+                "sync_wait_s": round(self.sync_wait_s, 6),
+                **self._client.stats()}
 
     @property
     def sync_count(self) -> int:

@@ -17,17 +17,29 @@ Two consumers share the format:
   scheduler's remote WAL device — use :class:`WireClient`, a blocking
   socket with the same framing plus reconnect/retry helpers.
 
-The protocol is strictly request/response per connection: a caller never
-pipelines, so a frame read after a write is always the answer to that write.
+Multiplexing: a request may carry a ``rid`` (request id, unique per
+connection); the response echoes it, which lets one connection carry many
+in-flight calls and lets responses come back out of order.  Requests
+*without* a ``rid`` keep the original strict request/response discipline:
+the server answers them in arrival order before reading the next frame, so
+a frame read after a write is always the answer to that write.  The
+:class:`WireClient` uses ``rid``s only in ``pipelined`` mode (a background
+reader thread demultiplexes responses to the waiting caller threads);
+plain clients never send one and stay byte-compatible with the original
+protocol.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import random
 import socket
 import struct
+import threading
 import time
+from typing import Callable
 
 from repro.errors import ReproError
 
@@ -88,8 +100,13 @@ def decode_body(body: bytes) -> dict:
 # ---------------------------------------------------------------------------
 
 
-async def read_frame(reader: asyncio.StreamReader) -> dict | None:
-    """Read one frame; ``None`` on clean EOF at a message boundary."""
+async def read_frame(reader: asyncio.StreamReader,
+                     on_bytes: Callable[[int], None] | None = None) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a message boundary.
+
+    ``on_bytes`` (when given) receives the frame's on-wire size — header
+    included — for the node servers' byte accounting.
+    """
     try:
         header = await reader.readexactly(_LEN.size)
     except asyncio.IncompleteReadError as exc:
@@ -103,6 +120,8 @@ async def read_frame(reader: asyncio.StreamReader) -> dict | None:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise ConnectionLost("peer closed mid-frame") from exc
+    if on_bytes is not None:
+        on_bytes(_LEN.size + length)
     return decode_body(body)
 
 
@@ -128,6 +147,17 @@ def _recv_exactly(sock: socket.socket, length: int) -> bytes:
     return b"".join(chunks)
 
 
+class _PendingCall:
+    """One in-flight pipelined request waiting for its response frame."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: dict | None = None
+        self.error: Exception | None = None
+
+
 class WireClient:
     """A blocking request/response client over one framed TCP connection.
 
@@ -140,17 +170,48 @@ class WireClient:
     and resending — callers must only use it for idempotent ops (the live
     protocol makes the WAL append and certification ops idempotent via
     sequence numbers and transaction ids precisely so this is safe).
+
+    With ``pipelined=True`` the client tags every request with a per-
+    connection ``rid`` and many threads may call concurrently on the one
+    connection: a background reader thread demultiplexes response frames to
+    the waiting callers, so a second call does not have to wait for the
+    first call's answer.  In pipelined mode ``timeout`` bounds the whole
+    wait for the response (the peer batches requests, so per-socket-op
+    timing is meaningless).  Send order on the wire equals the order
+    callers entered the send critical section — the optional ``_on_send``
+    hook of :meth:`call` runs inside that critical section so callers can
+    latch the order (the replica uses it to register commit-gate tickets).
     """
 
     def __init__(self, host: str, port: int, *, timeout: float | None = 30.0,
-                 name: str = "client") -> None:
+                 name: str = "client", pipelined: bool = False) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.name = name
+        self.pipelined = pipelined
         self._sock: socket.socket | None = None
         self.calls = 0
+        #: Reconnects for any reason (including clean re-dials after an idle
+        #: peer restart that did not interrupt a call).
         self.reconnects = 0
+        #: Requests that had to be *resent* because the connection died after
+        #: the request may already have reached the peer.  Kept separate from
+        #: ``reconnects`` so exactly-once accounting can tell a clean re-dial
+        #: from a potential duplicate delivery.
+        self.resends = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Highest number of simultaneously in-flight pipelined calls.
+        self.in_flight_high_water = 0
+        # Pipelined-mode state.  Lock order: _send_lock -> _pending_lock.
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, _PendingCall] = {}
+        self._rids = itertools.count(1)
+        self._reader: threading.Thread | None = None
 
     # -- connection management ------------------------------------------------
 
@@ -159,45 +220,92 @@ class WireClient:
         return self._sock is not None
 
     def connect(self) -> None:
+        with self._send_lock:
+            self._connect_locked()
+
+    def _connect_locked(self) -> None:
         if self._sock is not None:
             return
         sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock = sock
+        if self.pipelined:
+            # Blocking socket: the reader thread owns recv, senders own send;
+            # the overall response wait is bounded by event.wait(timeout).
+            sock.settimeout(None)
+            self._sock = sock
+            reader = threading.Thread(target=self._reader_loop, args=(sock,),
+                                      name=f"wire-reader-{self.name}", daemon=True)
+            self._reader = reader
+            reader.start()
+        else:
+            self._sock = sock
 
     def close(self) -> None:
-        if self._sock is not None:
+        sock = self._sock
+        self._sock = None
+        if sock is not None:
             try:
-                self._sock.close()
+                sock.close()
             except OSError:
                 pass
-            self._sock = None
+        self._fail_pending(ConnectionLost(
+            f"connection to {self.host}:{self.port} closed"))
 
     def reconnect(self) -> None:
         self.close()
         self.reconnects += 1
         self.connect()
 
+    def _fail_pending(self, error: Exception) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for call in pending:
+            call.error = error
+            call.event.set()
+
+    # -- pipelined reader -----------------------------------------------------
+
+    def _reader_loop(self, sock: socket.socket) -> None:
+        try:
+            while True:
+                header = _recv_exactly(sock, _LEN.size)
+                (length,) = _LEN.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise FrameTooLarge(
+                        f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+                response = decode_body(_recv_exactly(sock, length))
+                with self._pending_lock:
+                    self.frames_received += 1
+                    self.bytes_received += _LEN.size + length
+                    call = self._pending.pop(int(response.get("rid", -1)), None)
+                if call is not None:
+                    call.response = response
+                    call.event.set()
+                # An unknown rid belongs to a caller that timed out and
+                # abandoned the slot; the frame is dropped.
+        except (OSError, WireError, ValueError):
+            # This connection is dead (peer crash or local close()); every
+            # caller still waiting on it must re-dial and resend.
+            if self._sock is sock:
+                self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._fail_pending(ConnectionLost(
+                f"connection to {self.host}:{self.port} lost"))
+
     # -- calls ----------------------------------------------------------------
 
-    def call(self, op: str, **fields: object) -> dict:
+    def call(self, op: str, *,
+             _on_send: Callable[[], None] | None = None,
+             **fields: object) -> dict:
         """One request/response round trip; raises on transport or remote error."""
-        request = {"op": op, **fields}
-        try:
-            self.connect()
-            sock = self._sock
-            assert sock is not None
-            sock.sendall(encode_frame(request))
-            header = _recv_exactly(sock, _LEN.size)
-            (length,) = _LEN.unpack(header)
-            if length > MAX_FRAME_BYTES:
-                raise FrameTooLarge(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
-            response = decode_body(_recv_exactly(sock, length))
-        except (OSError, EOFError) as exc:
-            # The connection is poisoned mid-exchange; drop it so the next
-            # call starts clean.
-            self.close()
-            raise ConnectionLost(f"{op} to {self.host}:{self.port} failed: {exc}") from exc
+        if self.pipelined:
+            response = self._call_pipelined(op, fields, on_send=_on_send)
+        else:
+            response = self._call_sequential(op, fields, on_send=_on_send)
         self.calls += 1
         if not response.get("ok", False):
             raise RemoteCallError(
@@ -208,8 +316,78 @@ class WireClient:
             )
         return response
 
+    def _call_sequential(self, op: str, fields: dict,
+                         on_send: Callable[[], None] | None = None) -> dict:
+        request = {"op": op, **fields}
+        try:
+            self.connect()
+            sock = self._sock
+            assert sock is not None
+            frame = encode_frame(request)
+            sock.sendall(frame)
+            self.frames_sent += 1
+            self.bytes_sent += len(frame)
+            if on_send is not None:
+                on_send()
+            header = _recv_exactly(sock, _LEN.size)
+            (length,) = _LEN.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise FrameTooLarge(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+            response = decode_body(_recv_exactly(sock, length))
+            self.frames_received += 1
+            self.bytes_received += _LEN.size + length
+        except (OSError, EOFError) as exc:
+            # The connection is poisoned mid-exchange; drop it so the next
+            # call starts clean.
+            self.close()
+            raise ConnectionLost(f"{op} to {self.host}:{self.port} failed: {exc}") from exc
+        return response
+
+    def _call_pipelined(self, op: str, fields: dict,
+                        on_send: Callable[[], None] | None = None) -> dict:
+        pending = _PendingCall()
+        with self._send_lock:
+            try:
+                self._connect_locked()
+            except OSError as exc:
+                raise ConnectionLost(
+                    f"{op} to {self.host}:{self.port} failed: {exc}") from exc
+            sock = self._sock
+            assert sock is not None
+            rid = next(self._rids)
+            frame = encode_frame({"op": op, "rid": rid, **fields})
+            with self._pending_lock:
+                self._pending[rid] = pending
+                in_flight = len(self._pending)
+                if in_flight > self.in_flight_high_water:
+                    self.in_flight_high_water = in_flight
+            try:
+                sock.sendall(frame)
+            except OSError as exc:
+                with self._pending_lock:
+                    self._pending.pop(rid, None)
+                self.close()
+                raise ConnectionLost(
+                    f"{op} to {self.host}:{self.port} failed: {exc}") from exc
+            self.frames_sent += 1
+            self.bytes_sent += len(frame)
+            if on_send is not None:
+                on_send()
+        if not pending.event.wait(self.timeout):
+            with self._pending_lock:
+                self._pending.pop(rid, None)
+            self.close()
+            raise ConnectionLost(
+                f"{op} to {self.host}:{self.port} timed out after {self.timeout}s")
+        if pending.error is not None:
+            raise pending.error
+        assert pending.response is not None
+        return pending.response
+
     def call_retrying(self, op: str, *, deadline_s: float | None = None,
-                      retry_interval_s: float = 0.2, **fields: object) -> dict:
+                      retry_interval_s: float = 0.2,
+                      _on_send: Callable[[], None] | None = None,
+                      **fields: object) -> dict:
         """Call, reconnecting and resending until it succeeds.
 
         Survives the peer being killed and restarted on the same port (the
@@ -221,17 +399,39 @@ class WireClient:
         attempt = 0
         while True:
             try:
-                return self.call(op, **fields)
+                return self.call(op, _on_send=_on_send, **fields)
             except ConnectionLost:
                 attempt += 1
                 self.close()
-                # The next call() re-dials from scratch: count it, so callers
-                # (e.g. the remote WAL device) can tell a clean first delivery
-                # from a resend that crossed a peer restart.
+                # The next call() re-dials from scratch.  The request is
+                # *resent* — it may already have reached the peer before the
+                # connection died — so count it apart from clean reconnects;
+                # consumers (e.g. the remote WAL device) use the resend count
+                # to tell a first delivery from a possible duplicate.
                 self.reconnects += 1
+                self.resends += 1
                 if deadline_s is not None and time.monotonic() - start > deadline_s:
                     raise
-                time.sleep(min(retry_interval_s * min(attempt, 5), 1.0))
+                # Jittered backoff: many clients losing the same peer (a
+                # scheduler restart) must not re-dial in lockstep, or the
+                # revived listener eats a synchronized thundering herd on
+                # every retry tick.
+                delay = min(retry_interval_s * min(attempt, 5), 1.0)
+                time.sleep(delay * (0.5 + 0.5 * random.random()))
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "calls": self.calls,
+            "reconnects": self.reconnects,
+            "resends": self.resends,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "in_flight_high_water": self.in_flight_high_water,
+        }
 
     # -- context manager ------------------------------------------------------
 

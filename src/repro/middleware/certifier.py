@@ -34,7 +34,7 @@ from repro.core.certifier_log import CertifierLog
 from repro.core.group_commit import GroupCommitBatcher
 from repro.core.stats import CertifierServiceStats
 from repro.engine.log_device import CountingLogDevice, LogDevice
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.transport import FlushPolicy, WritesetStream, WritesetSubscription
 
 
@@ -126,6 +126,44 @@ class CertifierService:
                 self.flush()
             self.collect_garbage()
         return result
+
+    def certify_batch(
+        self, requests: list[CertificationRequest],
+    ) -> list[CertificationResult | ReproError]:
+        """Certify a group of requests sharing one durability flush.
+
+        Decisions, versions and remote windows are exactly what a sequential
+        ``certify`` loop would produce (the requests run through the core one
+        by one, in order); the batch only coalesces the *IO*: every commit in
+        the round shares a single log flush — one fsync covering the whole
+        group — instead of one per transaction.  Per-request failures are
+        returned in place as the exception instance.
+        """
+        before = self.core.certification_requests
+        outcomes: list[CertificationResult | ReproError] = []
+        for request in requests:
+            try:
+                result = self.core.certify(request)
+            except ReproError as exc:
+                outcomes.append(exc)
+                continue
+            outcomes.append(result)
+            if result.committed and result.tx_commit_version is not None:
+                self._batcher.enqueue(result.tx_commit_version)
+                if not self.config.durability_enabled:
+                    self.stream.propagate_from_log(
+                        self.core.log, (result.tx_commit_version,),
+                        aligned=self._fsync_aligned_propagation,
+                    )
+        if self.config.durability_enabled:
+            self.flush()
+        interval = self.config.gc_interval_requests
+        if interval > 0 and (before // interval
+                             != self.core.certification_requests // interval):
+            if not self.config.durability_enabled:
+                self.flush()
+            self.collect_garbage()
+        return outcomes
 
     def fetch_remote_writesets(self, replica_version: int,
                                check_back_to: int | None = None,

@@ -43,7 +43,7 @@ from repro.core.stats import (
     merged_group_commit_stats,
 )
 from repro.engine.log_device import CountingLogDevice, LogDevice
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.middleware.certifier import CertifierConfig, CertifierService
 from repro.transport import MergedSubscription, WritesetStream
 
@@ -110,6 +110,44 @@ class ShardedCertifierService:
                 self.flush()
             self.collect_garbage()
         return result
+
+    def certify_batch(
+        self, requests: list[CertificationRequest],
+    ) -> list[CertificationResult | ReproError]:
+        """Certify a group of requests as one round with shared flushes.
+
+        Decisions/versions/remote windows come from
+        :meth:`ShardedCertifier.certify_batch <repro.core.sharding.
+        ShardedCertifier.certify_batch>` (sequentially equivalent by
+        construction); the service then enqueues *every* admitted fragment of
+        the round before flushing, so each touched shard pays **one**
+        synchronous log write for the whole batch instead of one per
+        transaction — the paper's group-commit economics, applied to the
+        certifier's own log.  Per-request failures are returned in place.
+        """
+        before = self.core.certification_requests
+        outcomes = self.core.certify_batch(requests)
+        touched: set[int] = set()
+        for outcome in outcomes:
+            if (isinstance(outcome, CertificationResult) and outcome.committed
+                    and outcome.tx_commit_version is not None):
+                record = self.core.record_at(outcome.tx_commit_version)
+                for shard_id, local in record.shard_locals:
+                    self._batchers[shard_id].enqueue(
+                        (outcome.tx_commit_version, local))
+                    touched.add(shard_id)
+        if touched:
+            if self.config.durability_enabled:
+                self.flush(shard_ids=sorted(touched))
+            else:
+                self._propagate_up_to(self.core.last_version)
+        interval = self.config.gc_interval_requests
+        if interval > 0 and (before // interval
+                             != self.core.certification_requests // interval):
+            if not self.config.durability_enabled:
+                self.flush()
+            self.collect_garbage()
+        return outcomes
 
     def fetch_remote_writesets(self, replica_version: int,
                                check_back_to: int | None = None,

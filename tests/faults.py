@@ -177,6 +177,13 @@ def run_crash_schedule(
     oracle_seen = sharded_seen = 0
     last_client_version = 0
     observer_connected = False
+    #: The version the observer last put on the wire (the from-version of its
+    #: last fetch).  The certifier's conservative watermark rule notes exactly
+    #: this value — NOT the observer's applied frontier, which is only
+    #: reported at its *next* contact — so a reconnect after a coordinator
+    #: crash must re-feed this, or the recovered certifier's GC low-water mark
+    #: runs ahead of the fault-free oracle's and they prune differently.
+    observer_reported = 0
     crashes = 0
     commits = 0
 
@@ -205,11 +212,12 @@ def run_crash_schedule(
                 crashes += 1
                 certifier.crash()
                 recover_with_schedule(certifier, rebuild_crash=rebuild_crash)
-                # Reconnect the replicas: they re-report their applied
-                # versions, which re-feeds the GC low-water mark (the fault-
-                # free oracle only ever heard from replicas that connected).
+                # Reconnect the replicas: each re-reports the version of its
+                # last contact, which re-feeds the GC low-water mark (the
+                # fault-free oracle only ever heard from replicas that
+                # connected, and only their conservative last-reported notes).
                 if observer_connected:
-                    certifier.note_replica_version("observer", sharded_seen)
+                    certifier.note_replica_version("observer", observer_reported)
                 certifier.note_replica_version("client", last_client_version)
                 # The client retries the interrupted transaction; the
                 # exactly-once table answers it if its round survived.
@@ -230,6 +238,7 @@ def run_crash_schedule(
                 # horizon — via a dump / state transfer — and tails from there.
                 oracle_seen = max(oracle_seen, oracle.log.pruned_version)
                 sharded_seen = oracle_seen
+            observer_reported = sharded_seen
             oracle_seen = _apply(
                 oracle_state,
                 oracle.fetch_remote_writesets(oracle_seen, replica="observer"),
@@ -251,7 +260,7 @@ def run_crash_schedule(
                 certifier.crash()
                 recover_with_schedule(certifier, rebuild_crash=rebuild_crash)
                 if observer_connected:
-                    certifier.note_replica_version("observer", sharded_seen)
+                    certifier.note_replica_version("observer", observer_reported)
                 certifier.note_replica_version("client", last_client_version)
                 # Compaction is idempotent: the retry finishes whatever
                 # shards the crashed attempt left untruncated.

@@ -145,3 +145,76 @@ def test_exactly_once_table_counts_every_commit_once(tmp_path):
         assert stats["tx_table_size"] == 11
         assert stats["duplicate_tx_hits"] == 0
         assert stats["wal_resent_batches"] == 0
+
+
+def test_hot_row_write_write_block_aborts_no_wait(tmp_path):
+    """Two live sessions on one replica racing one row: the loser must not
+    wedge a worker thread waiting for the winner's lock — the replica runs a
+    no-wait first-updater-wins policy and aborts the blocked writer (reason
+    ``ww-block``), and a retry after the winner commits goes through.  TPC-B
+    with concurrent clients dies on an unhandled ``LockBlockedError`` without
+    this."""
+    from repro.engine.table import TableSchema
+    from repro.errors import TransactionAborted
+
+    config = ReplicationConfig(system=SystemKind.TASHKENT_MW, num_replicas=1,
+                               certifier_shards=1, rng_seed=SEED)
+    schemas = [TableSchema("counters", ("id", "value"), "id")]
+    with LiveCluster(config, schemas, run_dir=tmp_path,
+                     keep_dir=True) as cluster:
+        with cluster.session("replica-0") as loader:
+            loader.begin()
+            loader.insert("counters", "k", id="k", value=0)
+            assert loader.commit().committed
+        first = cluster.session("replica-0")
+        second = cluster.session("replica-0")
+        try:
+            first.begin()
+            first.update("counters", "k", value=1)
+            # The read flushes the fused update: the write lock is held now.
+            assert first.read("counters", "k")["value"] == 1
+            second.begin()
+            second.update("counters", "k", value=2)
+            with pytest.raises(TransactionAborted) as info:
+                second.read("counters", "k")  # deferred update surfaces here
+            assert info.value.reason == "ww-block"
+            assert first.commit().committed  # the winner is untouched
+            second.begin()                   # the loser retries and wins
+            second.update("counters", "k", value=2)
+            assert second.commit().committed
+            assert second.run_readonly("counters", "k")["value"] == 2
+        finally:
+            first.close()
+            second.close()
+
+
+def test_cli_run_summary_round_trips_typed(tmp_path, capsys):
+    """``repro-cluster run`` prints a summary that survives json.loads with
+    native types — no ``default=str`` coercion hiding a non-serialisable
+    value (the bug this guards against printed ints as strings)."""
+    import json
+
+    from repro.live import cli
+
+    assert cli.main(["run", "--workload", "allupdates", "--replicas", "2",
+                     "--transactions", "8", "--clients", "2",
+                     "--run-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out[out.index("{"):])
+
+    assert summary["workload"] == "allupdates"
+    assert isinstance(summary["transactions"], int)
+    assert isinstance(summary["committed"], int) and summary["committed"] == 8
+    assert isinstance(summary["system_version"], int)
+    assert all(isinstance(v, int)
+               for v in summary["replica_versions"].values())
+    assert isinstance(summary["replication_horizon"], int)
+    assert all(isinstance(v, int)
+               for wal in summary["shard_wals"] for v in wal.values())
+    assert isinstance(summary["wall_clock_s"], float)
+    driver = summary["driver"]
+    assert isinstance(driver["clients"], int) and driver["clients"] == 2
+    assert isinstance(driver["certs_per_sec"], float)
+    assert isinstance(driver["fsyncs_per_commit"], float)
+    # Bit-for-bit stable through a dump/load cycle: every leaf JSON-native.
+    assert json.loads(json.dumps(summary)) == summary

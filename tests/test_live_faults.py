@@ -244,6 +244,83 @@ def test_replica_sigkill_after_commit_ack_lost_client_must_not_reexecute(tmp_pat
         cluster.__exit__(None, None, None)
 
 
+def test_shard_sigkill_mid_batch_both_grouped_commits_resolve(tmp_path):
+    """Two concurrent commits share ONE grouped WAL batch; the shard fsyncs
+    that batch and freezes before acknowledging; kill -9 + restart: the
+    scheduler's resend is deduplicated by seq and BOTH transactions resolve
+    committed — group certification does not weaken exactly-once."""
+    import threading
+
+    # A wide batch window forces the two in-flight certifies into the same
+    # round (one wal_append), rather than relying on scheduling luck.
+    config = ReplicationConfig(system=SystemKind.TASHKENT_MW, num_replicas=2,
+                               certifier_shards=1, rng_seed=SEED,
+                               live_certify_batch_window_ms=150.0)
+    workload = make_workload()
+    # Appends: loader=1 → the grouped round is wal_append #2; it fsyncs,
+    # then the shard freezes before acknowledging.
+    cluster = LiveCluster(config, workload.schemas(), run_dir=tmp_path,
+                          keep_dir=True,
+                          shard_args={0: ["--wedge-after-sync", "2"]})
+    cluster.__enter__()
+    try:
+        cluster.load_initial_data(workload)
+        sessions = [cluster.session(name, attempt_timeout_s=CLIENT_TIMEOUT_S)
+                    for name in cluster.replicas]
+        rng = RandomStreams(SEED)
+
+        caught: list[CommitInDoubt | None] = [None, None]
+        barrier = threading.Barrier(2)
+
+        def commit_one(index: int) -> None:
+            barrier.wait()
+            try:
+                workload.run_transaction(sessions[index], rng,
+                                         client_index=index, sequence=index)
+            except CommitInDoubt as exc:
+                caught[index] = exc
+
+        threads = [threading.Thread(target=commit_one, args=(index,))
+                   for index in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(caught), f"both commits must wedge in doubt, got {caught}"
+
+        cluster.kill_shard(0)
+        cluster.restart_shard(0, drop_args=("--wedge-after-sync",))
+
+        for index in (0, 1):
+            outcome = sessions[index].resolve_commit(caught[index].tx_id,
+                                                     wait_known_s=20.0)
+            assert outcome is not None and outcome.committed, (index, outcome)
+            sessions[index].reconnect()
+
+        # The grouped round landed as ONE batch holding both records, was
+        # durable before the kill, and the resend was skipped by seq.
+        batches = read_wal_batches(cluster.harness.run_dir / "shard-0.wal")
+        assert any(len(batch["payloads"]) >= 2 for batch in batches), (
+            f"no grouped batch in the WAL: {[len(b['payloads']) for b in batches]}"
+        )
+        assert cluster.shard_wal_stats(0)["duplicate_batches_skipped"] >= 1
+        assert cluster.scheduler_stats()["wal_resent_batches"] >= 1
+        assert_exactly_once(cluster, admits=3)  # loader + the two commits
+
+        # Both increments took effect exactly once (initial value is 0).
+        cluster.refresh_all()
+        probe = cluster.session("replica-0", attempt_timeout_s=CLIENT_TIMEOUT_S)
+        probe.begin()
+        for index, key in ((0, "r0-c0-0"), (1, "r1-c1-1")):
+            row = probe.read("counters", key)
+            assert row is not None and int(row["value"]) == 1, (key, row)
+            assert row["note"] == f"seq-{index}"
+        probe.abort()
+        probe.close()
+    finally:
+        cluster.__exit__(None, None, None)
+
+
 def rng_replay(rng: RandomStreams, sequence: int) -> RandomStreams:
     """AllUpdates draws nothing from ``rng``, so replaying a transaction can
     reuse the live stream object; kept as a named hook so a future workload
