@@ -520,9 +520,12 @@ class ReplicatedShardedCertifier:
 
     def fetch_remote_writesets(self, replica_version: int,
                                check_back_to: int | None = None,
-                               *, replica: str | None = None):
+                               *, replica: str | None = None,
+                               up_to: int | None = None,
+                               exclude_version: int | None = None):
         return self._alive().fetch_remote_writesets(
-            replica_version, check_back_to, replica=replica)
+            replica_version, check_back_to, replica=replica, up_to=up_to,
+            exclude_version=exclude_version)
 
     def note_replica_version(self, replica: str, version: int) -> None:
         self._alive().note_replica_version(replica, version)

@@ -240,7 +240,9 @@ class Certifier:
 
     def fetch_remote_writesets(self, replica_version: int,
                                check_back_to: int | None = None,
-                               *, replica: str | None = None) -> list[RemoteWriteSetInfo]:
+                               *, replica: str | None = None,
+                               up_to: int | None = None,
+                               exclude_version: int | None = None) -> list[RemoteWriteSetInfo]:
         """Remote writesets committed after ``replica_version``.
 
         Used by the bounded-staleness refresh (Section 6.2) when a replica has
@@ -250,6 +252,11 @@ class Certifier:
         which is required to be served from below the GC horizon (an
         anonymous request below the horizon raises
         :class:`~repro.errors.LogPrunedError`).
+
+        ``up_to`` caps the window and ``exclude_version`` drops one version,
+        so a resent certification can be answered with exactly the writesets
+        its original response carried — never a transaction admitted after
+        it, whose priority application would abort still-open local work.
         """
         request = CertificationRequest(
             tx_start_version=replica_version,
@@ -258,7 +265,8 @@ class Certifier:
             origin_replica=replica if replica is not None else "",
             check_remote_back_to=check_back_to,
         )
-        remote = self._remote_writesets_for(request)
+        remote = self._remote_writesets_for(request, exclude_version=exclude_version,
+                                            up_to=up_to)
         # As in certify: enroll the watermark only for accepted requests.
         if replica is not None:
             self.note_replica_version(replica, replica_version)
@@ -428,6 +436,7 @@ class Certifier:
         self,
         request: CertificationRequest,
         exclude_version: int | None = None,
+        up_to: int | None = None,
     ) -> list[RemoteWriteSetInfo]:
         """Remote writesets the requesting replica has not seen yet.
 
@@ -439,6 +448,8 @@ class Certifier:
         back_to = request.check_remote_back_to
         after = max(request.replica_version, self._check_remote_window(request))
         for record in self.log.records_after(after):
+            if up_to is not None and record.commit_version > up_to:
+                break
             if exclude_version is not None and record.commit_version == exclude_version:
                 continue
             horizon = self.log.certified_back_to(record.commit_version)

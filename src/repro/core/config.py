@@ -252,6 +252,14 @@ class ReplicationConfig:
     #: live backend in the same fsync-bound regime as the simulated stack's
     #: :class:`DiskConfig`/``ThrottledLogDevice``.  0 (default) = raw fsync.
     live_wal_fsync_floor_ms: float = 0.0
+    #: Replicated live scheduler: boot a standby scheduler process next to
+    #: the primary and write full certification-round entries (not opaque
+    #: size markers) to the shard WALs, so a ``kill -9`` of the primary is
+    #: survivable — the standby seeds from the primary's state-transfer
+    #: package, completes in-flight rounds from the surviving shard WALs on
+    #: promotion, and clients re-dial it.  ``False`` (default) keeps the
+    #: single-scheduler deployment shape and the compact WAL payload.
+    live_scheduler_standby: bool = False
     rng_seed: int = 20060418  # EuroSys 2006 conference date.
 
     def __post_init__(self) -> None:

@@ -655,8 +655,15 @@ class ShardedCertifier:
 
     def fetch_remote_writesets(self, replica_version: int,
                                check_back_to: int | None = None,
-                               *, replica: str | None = None) -> list[RemoteWriteSetInfo]:
-        """Remote writesets committed after ``replica_version`` (merged order)."""
+                               *, replica: str | None = None,
+                               up_to: int | None = None,
+                               exclude_version: int | None = None) -> list[RemoteWriteSetInfo]:
+        """Remote writesets committed after ``replica_version`` (merged order).
+
+        ``up_to``/``exclude_version`` reproduce an original certification
+        response's window for a resent request (see the single-certifier
+        docstring): nothing admitted after the recorded decision rides along.
+        """
         request = CertificationRequest(
             tx_start_version=replica_version,
             writeset=WriteSet(),
@@ -664,7 +671,7 @@ class ShardedCertifier:
             origin_replica=replica if replica is not None else "",
             check_remote_back_to=check_back_to,
         )
-        remote = self._remote_writesets_for(request)
+        remote = self._remote_writesets_for(request, exclude_version, up_to)
         if replica is not None:
             self.note_replica_version(replica, replica_version)
         return remote

@@ -35,6 +35,7 @@ def _build_cluster(args: argparse.Namespace) -> tuple[LiveCluster, object]:
         num_replicas=args.replicas,
         certifier_shards=args.shards,
         rng_seed=args.seed,
+        live_scheduler_standby=args.standby,
     )
     cluster = LiveCluster(config, workload.schemas(),
                           run_dir=args.run_dir, keep_dir=args.run_dir is not None)
@@ -126,6 +127,8 @@ def cmd_spawn(args: argparse.Namespace) -> int:
             "shards": [node.port for node in cluster.shards],
             "replicas": {name: node.port for name, node in cluster.replicas.items()},
         }
+        if cluster.standby_scheduler is not None:
+            layout["scheduler_standby"] = cluster.standby_scheduler.port
         print(json.dumps(layout, indent=2))
         print("cluster up; ^C to tear down", flush=True)
         try:
@@ -158,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run this many concurrent closed-loop clients "
                               "(0 = sequential round-robin driver)")
         cmd.add_argument("--refresh-every", type=int, default=8)
+        cmd.add_argument("--standby", action="store_true",
+                         help="also boot a standby scheduler seeded from the "
+                              "primary (kill -9 the primary, then promote "
+                              "via the standby's 'promote' op)")
         cmd.add_argument("--run-dir", default=None,
                          help="keep node logs/WALs here instead of a temp dir")
     return parser

@@ -136,9 +136,23 @@ class LiveSubscription:
         self._advance_to = max(self._advance_to, version)
 
     def poll_flat(self) -> list[RemoteWriteSetInfo]:
-        response = self._client.call_retrying(
-            "poll_writesets", replica=self.replica, advance_to=self._advance_to,
-        )
+        try:
+            response = self._client.call_retrying(
+                "poll_writesets", replica=self.replica,
+                advance_to=self._advance_to,
+            )
+        except RemoteCallError as exc:
+            if not exc.error.startswith("unknown replica"):
+                raise
+            # A promoted standby (or restarted scheduler) has no server-side
+            # subscription for us; re-subscribe from the applied cursor and
+            # retry — the directory backfills anything committed since.
+            self._client.call_retrying("hello_replica", replica=self.replica,
+                                       from_version=self._advance_to)
+            response = self._client.call_retrying(
+                "poll_writesets", replica=self.replica,
+                advance_to=self._advance_to,
+            )
         return [codec.decode_remote_info(i) for i in response["writesets"]]
 
     @property
@@ -152,11 +166,12 @@ class LiveCertifierClient:
     """``CertifierService`` duck-type whose backend is the scheduler process."""
 
     def __init__(self, host: str, port: int, *, replica_name: str,
-                 attempt_timeout_s: float = 10.0, pipelined: bool = False) -> None:
+                 attempt_timeout_s: float = 10.0, pipelined: bool = False,
+                 fallbacks: tuple[tuple[str, int], ...] = ()) -> None:
         self.replica_name = replica_name
         self._client = WireClient(host, port, timeout=attempt_timeout_s,
                                   name=f"certifier-{replica_name}",
-                                  pipelined=pipelined)
+                                  pipelined=pipelined, fallbacks=fallbacks)
         #: Set by the replica node around a client commit: the exactly-once
         #: transaction id that rides down with the next ``certify``.
         self.next_tx_id: str | None = None
@@ -277,13 +292,17 @@ class LiveSession:
     def __init__(self, replica_host: str, replica_port: int,
                  scheduler_host: str, scheduler_port: int, *,
                  client_name: str = "client",
-                 attempt_timeout_s: float | None = 30.0) -> None:
+                 attempt_timeout_s: float | None = 30.0,
+                 scheduler_fallbacks: tuple[tuple[str, int], ...] = ()) -> None:
         self.client_name = client_name
         self._replica = WireClient(replica_host, replica_port,
                                    timeout=attempt_timeout_s, name=client_name)
+        # The status client knows the standby too: an in-doubt commit must
+        # be resolvable even when the primary scheduler is the node that died.
         self._scheduler = WireClient(scheduler_host, scheduler_port,
                                      timeout=attempt_timeout_s,
-                                     name=f"{client_name}-status")
+                                     name=f"{client_name}-status",
+                                     fallbacks=scheduler_fallbacks)
         self.session_id: int | None = None
         self.replica_name: str | None = None
         self.commits = 0

@@ -49,14 +49,20 @@ class LiveCluster:
                  run_dir: str | Path | None = None, keep_dir: bool = False,
                  replica_args: dict[str, Sequence[str]] | None = None,
                  shard_args: dict[int, Sequence[str]] | None = None,
+                 scheduler_args: Sequence[str] | None = None,
                  ready_timeout_s: float = 30.0) -> None:
         self.config = config
         self.schemas = tuple(schemas)
         self.harness = ProcessHarness(run_dir=run_dir, keep_dir=keep_dir)
         self._replica_args = {k: list(v) for k, v in (replica_args or {}).items()}
         self._shard_args = {k: list(v) for k, v in (shard_args or {}).items()}
+        self._scheduler_args = list(scheduler_args or [])
         self._ready_timeout_s = ready_timeout_s
         self.scheduler: NodeHandle | None = None
+        self.standby_scheduler: NodeHandle | None = None
+        #: Where control-plane calls and new sessions go; flipped to the
+        #: standby by :meth:`promote_standby`.
+        self._active_scheduler: NodeHandle | None = None
         self.shards: list[NodeHandle] = []
         self.replicas: dict[str, NodeHandle] = {}
         self._sessions: list[LiveSession] = []
@@ -94,6 +100,7 @@ class LiveCluster:
                 "certify_batch_window_ms": self.config.live_certify_batch_window_ms,
                 "certify_batch_max": self.config.live_certify_batch_max,
                 "replica_workers": self.config.live_replica_workers,
+                "scheduler_standby": self.config.live_scheduler_standby,
             },
         }
         self.spec_path.write_text(json.dumps(spec, indent=2), encoding="utf-8")
@@ -112,19 +119,36 @@ class LiveCluster:
                  *self._shard_args.get(shard_id, [])],
                 timeout_s=timeout,
             ))
+        shard_flags = [arg for shard in self.shards
+                       for arg in ("--shard", f"127.0.0.1:{shard.port}")]
         self.scheduler = self.harness.spawn(
             "scheduler", "scheduler",
-            ["--spec", str(self.spec_path),
-             *(arg for shard in self.shards
-               for arg in ("--shard", f"127.0.0.1:{shard.port}"))],
+            ["--spec", str(self.spec_path), *shard_flags,
+             *self._scheduler_args],
             timeout_s=timeout,
         )
+        self._active_scheduler = self.scheduler
+        standby_flags: list[str] = []
+        if self.config.live_scheduler_standby:
+            # Booted after the primary so the warm state-transfer seed
+            # succeeds; stays unpromoted (NotPromoted to data-plane ops)
+            # until promote_standby().
+            self.standby_scheduler = self.harness.spawn(
+                "scheduler", "scheduler-standby",
+                ["--spec", str(self.spec_path), "--standby",
+                 "--primary", f"127.0.0.1:{self.scheduler.port}",
+                 *shard_flags],
+                timeout_s=timeout,
+            )
+            standby_flags = ["--scheduler-standby",
+                             f"127.0.0.1:{self.standby_scheduler.port}"]
         for index in range(self.config.num_replicas):
             name = f"replica-{index}"
             self.replicas[name] = self.harness.spawn(
                 "replica", name,
                 ["--spec", str(self.spec_path),
                  "--scheduler", f"127.0.0.1:{self.scheduler.port}",
+                 *standby_flags,
                  *self._replica_args.get(name, [])],
                 timeout_s=timeout,
             )
@@ -138,13 +162,19 @@ class LiveCluster:
                 attempt_timeout_s: float | None = 30.0) -> LiveSession:
         """Open a client session pinned to ``replica`` (the paper's routing)."""
         node = self.replicas[replica]
-        assert self.scheduler is not None and self.scheduler.port is not None
+        scheduler = self._active_scheduler
+        assert scheduler is not None and scheduler.port is not None
         if client_name is None:
             client_name = f"client-{self._next_client}"
             self._next_client += 1
+        fallbacks: tuple[tuple[str, int], ...] = ()
+        if (self.standby_scheduler is not None
+                and scheduler is not self.standby_scheduler):
+            fallbacks = (("127.0.0.1", self.standby_scheduler.port),)
         session = LiveSession(
-            "127.0.0.1", node.port, "127.0.0.1", self.scheduler.port,
+            "127.0.0.1", node.port, "127.0.0.1", scheduler.port,
             client_name=client_name, attempt_timeout_s=attempt_timeout_s,
+            scheduler_fallbacks=fallbacks,
         )
         self._sessions.append(session)
         return session
@@ -264,8 +294,9 @@ class LiveCluster:
         return response
 
     def _scheduler_call(self, op: str, **fields: object) -> dict:
-        assert self.scheduler is not None and self.scheduler.port is not None
-        with WireClient("127.0.0.1", self.scheduler.port, name="cluster-ctl") as ctl:
+        scheduler = self._active_scheduler
+        assert scheduler is not None and scheduler.port is not None
+        with WireClient("127.0.0.1", scheduler.port, name="cluster-ctl") as ctl:
             return self._unwrap(ctl.call(op, **fields))
 
     def _replica_call(self, replica: str, op: str, **fields: object) -> dict:
@@ -344,6 +375,34 @@ class LiveCluster:
                         drop_args: tuple[str, ...] = ()) -> None:
         self.replicas[replica].restart(timeout_s=self._ready_timeout_s,
                                        drop_args=drop_args)
+
+    def kill_scheduler(self) -> None:
+        """SIGKILL the primary scheduler (the failover tentpole's fault)."""
+        assert self.scheduler is not None
+        self.scheduler.kill()
+
+    def promote_standby(self, *, timeout_s: float = 60.0) -> dict:
+        """Promote the standby scheduler and route the cluster to it.
+
+        The promotion rebuilds the certifier from the shard WALs (completing
+        any round the primary died mid-flush on) and the exactly-once table
+        from the entries' tx ids; returns the standby's promotion report.
+        Control-plane calls and *new* sessions go to the standby afterwards;
+        existing clients re-dial on their own via their fallback addresses.
+        """
+        assert self.standby_scheduler is not None, "no standby configured"
+        with WireClient("127.0.0.1", self.standby_scheduler.port,
+                        name="cluster-ctl", timeout=timeout_s) as ctl:
+            response = self._unwrap(
+                ctl.call_retrying("promote", deadline_s=timeout_s))
+        self._active_scheduler = self.standby_scheduler
+        return response
+
+    def standby_status(self) -> dict:
+        assert self.standby_scheduler is not None, "no standby configured"
+        with WireClient("127.0.0.1", self.standby_scheduler.port,
+                        name="cluster-ctl") as ctl:
+            return self._unwrap(ctl.call("standby_status"))
 
     def kill_shard(self, shard_id: int) -> None:
         self.shards[shard_id].kill()

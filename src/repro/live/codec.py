@@ -138,6 +138,86 @@ def decode_outcome(payload: dict) -> CommitOutcome:
     )
 
 
+# -- shard log entries (scheduler failover) ----------------------------------
+
+
+def encode_shard_log_entry(entry: "ShardLogEntry") -> dict:
+    """Encode one durable certification-round fragment for a shard WAL.
+
+    In replicated-scheduler mode these JSON payloads — not opaque size
+    markers — are what the shard WAL holds, so a standby can rebuild the
+    certifier (decisions, versions, GC horizon, exactly-once tx table) from
+    the shard processes alone.
+    """
+    return {
+        "kind": entry.kind,
+        "global_version": entry.global_version,
+        "writeset": None if entry.writeset is None else encode_writeset(entry.writeset),
+        "touched": list(entry.touched),
+        "origin_replica": entry.origin_replica,
+        "certified_back_to": entry.certified_back_to,
+        "tx_id": entry.tx_id,
+    }
+
+
+def decode_shard_log_entry(payload: dict) -> "ShardLogEntry":
+    from repro.consensus.sharded import ShardLogEntry
+
+    writeset = payload.get("writeset")
+    return ShardLogEntry(
+        kind=payload["kind"],
+        global_version=payload["global_version"],
+        writeset=None if writeset is None else decode_writeset(writeset),
+        touched=tuple(payload.get("touched", ())),
+        origin_replica=payload.get("origin_replica", "unknown"),
+        certified_back_to=payload.get("certified_back_to", 0),
+        tx_id=payload.get("tx_id"),
+    )
+
+
+# -- state-transfer packages (standby seeding) --------------------------------
+
+
+def encode_state_transfer(package: "StateTransferPackage") -> dict:
+    """Encode a PR 6 `StateTransferPackage` so it can seed a live standby.
+
+    The checksum is carried verbatim: writesets round-trip their item ids
+    exactly through the writeset codec, so `validate()` on the decoded
+    package recomputes the same digest — a corrupted transfer fails loudly
+    on the standby.
+    """
+    return {
+        "num_shards": package.num_shards,
+        "horizon": package.horizon,
+        "rounds": [
+            [version, encode_writeset(writeset), origin, back_to]
+            for version, writeset, origin, back_to in package.rounds
+        ],
+        "replica_versions": [[name, version]
+                             for name, version in package.replica_versions],
+        "checksum": package.checksum,
+        "complete": package.complete,
+    }
+
+
+def decode_state_transfer(payload: dict) -> "StateTransferPackage":
+    from repro.recovery.snapshots import StateTransferPackage
+
+    return StateTransferPackage(
+        num_shards=payload["num_shards"],
+        horizon=payload["horizon"],
+        rounds=tuple(
+            (version, decode_writeset(items), origin, back_to)
+            for version, items, origin, back_to in payload["rounds"]
+        ),
+        replica_versions=tuple(
+            (name, version) for name, version in payload.get("replica_versions", ())
+        ),
+        checksum=payload.get("checksum", ""),
+        complete=payload.get("complete", True),
+    )
+
+
 # -- row mappings ------------------------------------------------------------
 
 

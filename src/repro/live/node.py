@@ -185,6 +185,25 @@ class CertifierShardRole:
                 # be deduplicated by seq.
                 return WEDGE
             return {"applied": applied, "last_seq": self.wal.last_seq}
+        if op == "wal_read":
+            # Promotion path: a standby scheduler reads back the applied
+            # batches to rebuild the certifier.  Every batch was fsynced
+            # before it was acknowledged, so re-reading the file from disk
+            # (the append handle runs on this same event-loop thread) sees
+            # exactly the acknowledged prefix.
+            import binascii
+
+            from repro.live.wal import read_wal_batches
+
+            return {
+                "last_seq": self.wal.last_seq,
+                "batches": [
+                    {"seq": batch["seq"],
+                     "payloads": [binascii.hexlify(p).decode()
+                                  for p in batch["payloads"]]}
+                    for batch in read_wal_batches(self.wal.path)
+                ],
+            }
         if op == "wal_stats":
             return self.wal.stats()
         if op == "stats":
@@ -320,10 +339,38 @@ class SchedulerRole:
             RemoteWalDevice(host, port, shard_id=i)
             for i, (host, port) in enumerate(shards)
         ]
-        if config.shards == 1:
+        self.shard_addrs = shards
+        self.cert_config = config
+        #: Replicated-scheduler mode: shard WAL payloads are full round
+        #: entries a standby can rebuild the certifier from (tentpole of the
+        #: failover work); off keeps the opaque-marker WAL shape.
+        self.replicated = bool(live.get("scheduler_standby", False))
+        self.standby = bool(getattr(args, "standby", False))
+        #: A standby answers only control-plane ops until promoted; clients
+        #: see ``NotPromoted`` errors their retry loop backs off on.
+        self.promoted = not self.standby
+        self.promotions = 0
+        self.last_promotion: dict | None = None
+        self.seed_package = None
+        if self.standby and not self.replicated:
+            raise SystemExit("--standby requires live.scheduler_standby in the spec")
+        if self.replicated:
+            from repro.live.replicated import LiveReplicatedCertifierService
+
+            # Always the sharded service, even at one shard: the seed
+            # CertifierService has no failover hooks, and the single-shard
+            # sharded core is decision-equivalent to it.
+            self.service = LiveReplicatedCertifierService(
+                config, log_devices=list(self.devices))
+            if self.standby:
+                self._seed_from_primary(getattr(args, "primary", None), config)
+        elif config.shards == 1:
             self.service = make_certifier_service(config, log_device=self.devices[0])
         else:
             self.service = make_certifier_service(config, log_devices=list(self.devices))
+        self.wedge_before_certify_round = args.wedge_before_certify_round
+        self.wedge_after_certify_round = args.wedge_after_certify_round
+        self.certify_rounds = 0
         self.pipeline = bool(live.get("pipeline", True))
         self.batch_window_ms = float(live.get("certify_batch_window_ms", 0.0))
         self.batch_max = int(live.get("certify_batch_max", 64))
@@ -350,6 +397,136 @@ class SchedulerRole:
         self.status_queries = 0
         self.server_stats = ServerStats()
 
+    # -- standby seeding and promotion ----------------------------------------
+
+    def _seed_from_primary(self, primary: str | None, config) -> None:
+        """Best-effort warm boot from the live primary's state transfer.
+
+        A reachable primary hands over a checksummed
+        :class:`StateTransferPackage` (PR 6's anti-entropy unit); the
+        standby installs it and keeps the package around so promotion can
+        cross-check the WAL rebuild against it.  An unreachable primary
+        (already dead, or racing its own boot) degrades to a cold standby —
+        promotion rebuilds everything from the shard WALs alone.
+        """
+        from repro.live.replicated import LiveReplicatedCertifierService
+        from repro.live.wire import ConnectionLost, WireClient
+
+        if primary is None:
+            return
+        host, port = _parse_addr(primary)
+        try:
+            with WireClient(host, port, timeout=5.0, name="standby-seed") as ctl:
+                response = ctl.call("state_transfer")
+        except (ConnectionLost, RemoteCallError, OSError) as exc:
+            print(f"standby cold boot (primary unreachable: {exc})",
+                  file=sys.stderr, flush=True)
+            return
+        package = codec.decode_state_transfer(response["package"])
+        self.service = LiveReplicatedCertifierService.from_state_transfer(
+            package, config=config, log_devices=list(self.devices))
+        self.seed_package = package
+
+    def _promote(self) -> dict:
+        """Take over as the certification coordinator (on the service thread).
+
+        Reads every shard's WAL back over the wire, rebuilds the certifier
+        through the functional recovery orchestration (completing rounds
+        that died mid-flush), durably appends those completion fragments,
+        rebuilds the exactly-once transaction table from the entries'
+        ``tx_id`` tokens, and only then starts answering data-plane ops.
+        New WAL batches start above each shard's applied ``last_seq`` so the
+        seq-dedupe protecting the dead primary's resends cannot swallow
+        them.
+        """
+        import binascii
+
+        from repro.errors import RecoveryError
+        from repro.live.replicated import (
+            LiveReplicatedCertifierService,
+            decode_entry_payload,
+            encode_entry_payload,
+            rebuild_from_shard_wals,
+        )
+        from repro.live.wal import RemoteWalDevice
+        from repro.live.wire import WireClient
+
+        started = time.perf_counter()
+        per_shard_entries: list[list] = []
+        last_seqs: list[int] = []
+        for shard_id, (host, port) in enumerate(self.shard_addrs):
+            with WireClient(host, port, timeout=5.0,
+                            name=f"promote-{shard_id}") as ctl:
+                response = ctl.call_retrying("wal_read", deadline_s=30.0)
+            per_shard_entries.append([
+                decode_entry_payload(binascii.unhexlify(payload))
+                for batch in response["batches"]
+                for payload in batch["payloads"]
+            ])
+            last_seqs.append(int(response["last_seq"]))
+        certifier, report, completions = rebuild_from_shard_wals(
+            per_shard_entries, config=self.cert_config)
+        package = self.seed_package
+        if package is not None:
+            # The WAL rebuild must dominate the state-transfer seed: every
+            # round the package knew about is in the shard WALs (they were
+            # fsynced before the primary acknowledged anything).  Falling
+            # short means a shard answered with a truncated file — refuse
+            # to serve a diverged history.
+            expected = package.horizon + len(package.rounds)
+            if report.system_version < expected:
+                raise RecoveryError(
+                    f"shard WAL rebuild reaches version {report.system_version}, "
+                    f"state-transfer seed proves {expected} existed")
+        for device in self.devices:
+            device.close()
+        self.devices = [
+            RemoteWalDevice(host, port, shard_id=i, start_seq=last_seqs[i])
+            for i, (host, port) in enumerate(self.shard_addrs)
+        ]
+        for shard_id, entry in completions:
+            # Recovery finished these rounds from surviving fragments; make
+            # the completion durable on the shards that missed it before
+            # acknowledging any new work.
+            self.devices[shard_id].append(encode_entry_payload(entry))
+            self.devices[shard_id].sync()
+        self.service = LiveReplicatedCertifierService.from_recovered_core(
+            certifier.core, config=self.cert_config,
+            log_devices=list(self.devices))
+        acks = certifier.committed_acks()
+        self.service._tx_for_version = {v: tx for tx, v in acks.items()}
+        for tx_id, version in acks.items():
+            # The original decision-time system version died with the
+            # primary; the commit version is a safe (tighter) window cap —
+            # everything the replica needs below it still rides along.
+            self.tx_table[tx_id] = {
+                "committed": True, "commit_version": version,
+                "forced_abort": False, "conflicting_version": None,
+                "decided_at": version,
+            }
+        self.tx_admits = len(self.tx_table)
+        if package is not None:
+            for replica, version in package.replica_versions:
+                self.service.register_replica(replica, version)
+        self.promoted = True
+        self.promotions += 1
+        self.last_promotion = {
+            "rounds_recovered": report.rounds_recovered,
+            "rounds_completed": report.rounds_completed,
+            "completions_appended": len(completions),
+            "system_version": report.system_version,
+            "pruned_version": report.pruned_version,
+            "tx_table_rebuilt": len(acks),
+            "seeded": package is not None,
+            "promotion_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        return self.last_promotion
+
+    #: Ops a standby answers before promotion — control plane only; every
+    #: data-plane op raises ``NotPromoted`` (clients back off and retry).
+    _STANDBY_OPS = frozenset({"ping", "stats", "standby_status", "promote",
+                              "cluster_info"})
+
     # -- async plumbing -------------------------------------------------------
 
     def setup_async(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -361,6 +538,9 @@ class SchedulerRole:
         if not self.pipeline:
             return self.handle(op, payload)
         if op == "certify" and self._batcher is not None:
+            if not self.promoted:
+                raise RemoteCallError(op, "standby not promoted",
+                                      error_type="NotPromoted")
             return await self._batcher.submit(payload)
         return await loop.run_in_executor(self.service_pool,
                                           self.handle, op, payload)
@@ -368,9 +548,27 @@ class SchedulerRole:
     # -- request dispatch -----------------------------------------------------
 
     def handle(self, op: str, payload: dict):
+        if not self.promoted and op not in self._STANDBY_OPS:
+            raise RemoteCallError(op, "standby not promoted",
+                                  error_type="NotPromoted")
         service = self.service
         if op == "certify":
             return self._certify(payload)
+        if op == "state_transfer":
+            if not self.replicated:
+                raise RemoteCallError(op, "scheduler is not in replicated mode")
+            return {"package": codec.encode_state_transfer(
+                service.export_state_transfer())}
+        if op == "standby_status":
+            return {"replicated": self.replicated, "standby": self.standby,
+                    "promoted": self.promoted, "promotions": self.promotions,
+                    "seeded": self.seed_package is not None,
+                    "last_promotion": self.last_promotion}
+        if op == "promote":
+            if self.promoted:
+                return {"promoted": True, "already": True,
+                        **(self.last_promotion or {})}
+            return {"promoted": True, "already": False, **self._promote()}
         if op == "commit_status":
             self.status_queries += 1
             recorded = self.tx_table.get(payload["tx_id"])
@@ -427,6 +625,11 @@ class SchedulerRole:
                 "status_queries": self.status_queries,
                 "wal_resent_batches": sum(d.resent_batches for d in self.devices),
                 "pipeline": self.pipeline,
+                "replicated": self.replicated,
+                "standby": self.standby,
+                "promoted": self.promoted,
+                "promotions": self.promotions,
+                "certify_rounds": self.certify_rounds,
                 "fsyncs": service.fsync_count,
                 # Transactions that did not pay their own fsync: committed
                 # log records minus synchronous writes (>0 only when rounds
@@ -462,7 +665,12 @@ class SchedulerRole:
             self.duplicate_tx_hits += 1
             return self._duplicate_response(payload)
         request = codec.decode_request(payload["request"])
-        result = self.service.certify(request)
+        if self.replicated:
+            # The tx_id rides into the durable WAL entry so a promoted
+            # standby rebuilds the exactly-once table, not just decisions.
+            result = self.service.certify_tx(request, tx_id)
+        else:
+            result = self.service.certify(request)
         self._record_tx(tx_id, result)
         return {"result": codec.encode_result(result), "duplicate": False}
 
@@ -476,6 +684,9 @@ class SchedulerRole:
             "commit_version": result.tx_commit_version,
             "forced_abort": result.forced_abort,
             "conflicting_version": result.conflicting_version,
+            # System version at decision time: bounds the writeset window a
+            # duplicate answer may carry (see _duplicate_response).
+            "decided_at": self.service.system_version,
         }
 
     def _duplicate_response(self, payload: dict) -> dict:
@@ -485,8 +696,17 @@ class SchedulerRole:
         # primary exactly-once mechanism.
         request = codec.decode_request(payload["request"])
         recorded = self.tx_table[payload["tx_id"]]
+        # Reproduce the ORIGINAL response's window: cap at the decision-time
+        # system version and drop the transaction's own writeset.  An
+        # uncapped fetch could carry a transaction admitted after this one —
+        # on the replica, the commit gate finalizes this (earlier-ticket)
+        # retry first, and priority-applying that later writeset would abort
+        # its still-open engine transaction: a client-visible abort for a
+        # commit the certifier admitted.
         remote = self.service.fetch_remote_writesets(
-            request.replica_version, replica=request.origin_replica or None)
+            request.replica_version, replica=request.origin_replica or None,
+            up_to=recorded.get("decided_at"),
+            exclude_version=recorded["commit_version"])
         return {
             "result": {
                 "decision": "commit" if recorded["committed"] else "abort",
@@ -508,6 +728,12 @@ class SchedulerRole:
         original is still deduplicated.
         """
         exec_started = time.perf_counter()
+        self.certify_rounds += 1
+        if (self.wedge_before_certify_round
+                and self.certify_rounds == self.wedge_before_certify_round):
+            # Killed here, the round was never admitted: nothing durable,
+            # nothing recorded — clients re-execute safely after failover.
+            return [WEDGE] * len(payloads)
         self.batch_stats.record_flush(len(payloads))
         responses: list[dict | None] = [None] * len(payloads)
         fresh: list[tuple[int, dict]] = []
@@ -520,13 +746,21 @@ class SchedulerRole:
                 first_index[tx_id] = i
             fresh.append((i, payload))
         requests = []
+        tx_ids = []
         for i, payload in list(fresh):
             try:
                 requests.append(codec.decode_request(payload["request"]))
             except Exception as exc:  # noqa: BLE001 - malformed request
                 responses[i] = _error_envelope(exc)
                 fresh.remove((i, payload))
-        outcomes = self.service.certify_batch(requests) if requests else []
+                continue
+            tx_ids.append(payload.get("tx_id"))
+        if not requests:
+            outcomes = []
+        elif self.replicated:
+            outcomes = self.service.certify_batch_tx(requests, tx_ids)
+        else:
+            outcomes = self.service.certify_batch(requests)
         for (i, payload), outcome in zip(fresh, outcomes):
             if isinstance(outcome, Exception):
                 responses[i] = _error_envelope(outcome, unexpected_trace=False)
@@ -546,10 +780,18 @@ class SchedulerRole:
                 # outcome; answer the duplicate identically.
                 responses[i] = dict(responses[first_index[tx_id]])
         self.certify_exec_s += time.perf_counter() - exec_started
+        if (self.wedge_after_certify_round
+                and self.certify_rounds == self.wedge_after_certify_round):
+            # Killed here, the round is fully durable on the shard WALs and
+            # recorded in this (dying) process's memory, but no client ever
+            # sees the ack: the promoted standby must answer the retries
+            # from its WAL-rebuilt exactly-once table.
+            return [WEDGE] * len(payloads)
         return responses  # type: ignore[return-value]
 
     def describe(self) -> dict:
-        return {"shards": self.service.config.shards}
+        return {"shards": self.service.config.shards,
+                "standby": self.standby, "replicated": self.replicated}
 
 
 # ---------------------------------------------------------------------------
@@ -591,8 +833,12 @@ class ReplicaRole:
                 columns=tuple(schema["columns"]),
                 primary_key=schema.get("primary_key", "id"),
             ))
+        fallbacks: tuple[tuple[str, int], ...] = ()
+        if args.scheduler_standby:
+            fallbacks = (_parse_addr(args.scheduler_standby),)
         self.cert_client = LiveCertifierClient(host, port, replica_name=self.name,
-                                               pipelined=self.pipeline)
+                                               pipelined=self.pipeline,
+                                               fallbacks=fallbacks)
         #: Replica-wide state lock: every op holds it; a commit releases it
         #: only while its certification round trip is in flight, so commits
         #: overlap on the wire while all local state stays single-threaded.
@@ -914,6 +1160,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shard", action="append", default=None, metavar="HOST:PORT",
                         help="certifier-shard address (scheduler; repeat per shard)")
     parser.add_argument("--scheduler", default=None, metavar="HOST:PORT")
+    parser.add_argument("--standby", action="store_true",
+                        help="boot this scheduler as an unpromoted standby "
+                             "(requires live.scheduler_standby in the spec)")
+    parser.add_argument("--primary", default=None, metavar="HOST:PORT",
+                        help="primary scheduler a standby seeds its state "
+                             "transfer from (best effort)")
+    parser.add_argument("--scheduler-standby", default=None, metavar="HOST:PORT",
+                        help="standby scheduler address a replica fails over "
+                             "to when the primary stops answering")
     # Deterministic fault points (see module docstring): wedge = stop
     # responding at the Nth op so the harness can land a kill -9 exactly there.
     parser.add_argument("--fsync-floor-ms", type=float, default=0.0,
@@ -922,6 +1177,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wedge-after-sync", type=int, default=0)
     parser.add_argument("--wedge-before-commit-op", type=int, default=0)
     parser.add_argument("--wedge-after-commit-op", type=int, default=0)
+    parser.add_argument("--wedge-before-certify-round", type=int, default=0,
+                        help="scheduler: wedge before admitting the Nth "
+                             "certification round (nothing durable)")
+    parser.add_argument("--wedge-after-certify-round", type=int, default=0,
+                        help="scheduler: wedge after the Nth round's durable "
+                             "flush, before any ack reaches a replica")
     return parser
 
 

@@ -22,8 +22,12 @@ matter where the kill landed — the invariant the crash tests assert.
 
 File format: one JSON line per batch — ``{"seq": n, "payloads": [hex...]}``.
 A torn final line (kill mid-write, before the fsync covering it) is
-discarded on replay; its batch was never acknowledged, so the scheduler
-still holds it and will resend.
+discarded on replay *and truncated away* before the file is reopened for
+append; its batch was never acknowledged, so the scheduler still holds it
+and will resend.  The truncation matters: appending after a stale torn
+line would leave garbage mid-file that a *second* crash's replay stops at,
+silently dropping every later batch and resetting ``last_seq`` so resent
+duplicates are re-accepted.
 """
 
 from __future__ import annotations
@@ -51,13 +55,17 @@ class BatchWalFile:
         self.batches = 0
         self.records = 0
         self.duplicate_batches_skipped = 0
+        self.torn_bytes_truncated = 0
         self._replay()
         self._file = open(self.path, "ab")
 
     def _replay(self) -> None:
-        """Scan the existing file (if any) for the highest applied batch seq."""
+        """Scan the existing file for the highest applied batch seq, and
+        truncate any torn tail so new appends start at a clean line boundary.
+        """
         if not self.path.exists():
             return
+        good_end = 0
         with open(self.path, "rb") as handle:
             for raw in handle:
                 if not raw.endswith(b"\n"):
@@ -66,9 +74,29 @@ class BatchWalFile:
                     entry = json.loads(raw)
                 except ValueError:
                     break
+                good_end += len(raw)
                 self.last_seq = max(self.last_seq, int(entry["seq"]))
                 self.batches += 1
                 self.records += len(entry["payloads"])
+        torn = self.path.stat().st_size - good_end
+        if torn > 0:
+            # Reopening in append mode without this would bury the torn line
+            # mid-file; a second crash's replay would stop there and silently
+            # drop every batch appended after it.
+            with open(self.path, "rb+") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._fsync_directory()
+            self.torn_bytes_truncated = torn
+
+    def _fsync_directory(self) -> None:
+        """Persist the truncation's metadata (size) against a crash."""
+        dir_fd = os.open(str(self.path.parent), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def append_batch(self, seq: int, payloads: list[bytes]) -> bool:
         """Durably append one batch; returns False when it was a duplicate."""
@@ -95,6 +123,7 @@ class BatchWalFile:
             "batches": self.batches,
             "records": self.records,
             "duplicate_batches_skipped": self.duplicate_batches_skipped,
+            "torn_bytes_truncated": self.torn_bytes_truncated,
             "bytes": self.path.stat().st_size if self.path.exists() else 0,
         }
 
@@ -136,12 +165,16 @@ class RemoteWalDevice:
     """
 
     def __init__(self, host: str, port: int, *, shard_id: int = 0,
-                 attempt_timeout_s: float = 2.0) -> None:
+                 attempt_timeout_s: float = 2.0, start_seq: int = 0) -> None:
         self.shard_id = shard_id
         self._client = WireClient(host, port, timeout=attempt_timeout_s,
                                   name=f"wal-{shard_id}")
         self._pending: list[bytes] = []
-        self._seq = 0
+        #: First batch goes out as ``start_seq + 1``.  A promoted standby
+        #: passes the shard's current ``last_seq`` here so its appends are
+        #: not swallowed by the seq-dedupe protecting the dead primary's
+        #: resends.
+        self._seq = start_seq
         self._sync_count = 0
         self._bytes_written = 0
         self.resent_batches = 0

@@ -55,7 +55,30 @@ class WireError(ReproError):
 
 
 class ConnectionLost(WireError):
-    """The TCP peer vanished mid-conversation (crash, kill -9, shutdown)."""
+    """The TCP peer vanished mid-conversation (crash, kill -9, shutdown).
+
+    ``request_sent`` records whether the request frame was (possibly) written
+    to the socket before the failure.  A dial refusal — ``connect()`` raised
+    before any bytes went out — sets it ``False``; exactly-once accounting
+    uses the flag to tell "the peer may have this request" (a retry is a
+    *resend*) from "the peer never heard from us" (a retry is just another
+    dial).  The default is the conservative ``True``.
+    """
+
+    def __init__(self, message: str, *, request_sent: bool = True) -> None:
+        super().__init__(message)
+        self.request_sent = request_sent
+
+
+class CallTimedOut(ConnectionLost):
+    """A pipelined call's response wait expired.
+
+    Scoped failure: only the timed-out call's ``rid`` slot is abandoned (a
+    late response frame is dropped by the reader's unknown-rid handling);
+    the connection and every other in-flight call stay untouched.  If the
+    connection is genuinely dead rather than slow, the retry's send fails
+    and takes the normal :class:`ConnectionLost` close/reconnect path.
+    """
 
 
 class FrameTooLarge(WireError):
@@ -184,12 +207,19 @@ class WireClient:
     """
 
     def __init__(self, host: str, port: int, *, timeout: float | None = 30.0,
-                 name: str = "client", pipelined: bool = False) -> None:
+                 name: str = "client", pipelined: bool = False,
+                 fallbacks: tuple[tuple[str, int], ...] = ()) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.name = name
         self.pipelined = pipelined
+        #: Alternate peer addresses (a promoted standby).  ``call_retrying``
+        #: rotates to the next address when a dial is refused — the current
+        #: peer is gone, not merely slow — so a client survives its peer
+        #: being replaced by a different process on a different port.
+        self._addresses: list[tuple[str, int]] = [(host, port), *fallbacks]
+        self._address_index = 0
         self._sock: socket.socket | None = None
         self.calls = 0
         #: Reconnects for any reason (including clean re-dials after an idle
@@ -241,6 +271,19 @@ class WireClient:
             self._sock = sock
 
     def close(self) -> None:
+        with self._send_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        """Swap out and close the socket; caller holds ``_send_lock``.
+
+        The socket swap must happen under the send lock or a concurrent
+        sender can grab a socket that is being closed under it (and a
+        concurrent ``_connect_locked`` can install a fresh socket that this
+        close then throws away).  Split from :meth:`close` because the
+        pipelined send path already holds the lock when it needs to drop a
+        poisoned connection.
+        """
         sock = self._sock
         self._sock = None
         if sock is not None:
@@ -286,9 +329,14 @@ class WireClient:
                 # abandoned the slot; the frame is dropped.
         except (OSError, WireError, ValueError):
             # This connection is dead (peer crash or local close()); every
-            # caller still waiting on it must re-dial and resend.
-            if self._sock is sock:
-                self._sock = None
+            # caller still waiting on it must re-dial and resend.  The swap
+            # happens under the send lock so an in-progress sender never has
+            # the socket yanked out from under its feet; only this reader's
+            # own socket is cleared (a reconnect may already have installed
+            # a fresh one, owned by a newer reader thread).
+            with self._send_lock:
+                if self._sock is sock:
+                    self._sock = None
             try:
                 sock.close()
             except OSError:
@@ -321,6 +369,12 @@ class WireClient:
         request = {"op": op, **fields}
         try:
             self.connect()
+        except OSError as exc:
+            # Dial refused: nothing was sent, so a retry is not a resend.
+            raise ConnectionLost(
+                f"{op} to {self.host}:{self.port} failed: {exc}",
+                request_sent=False) from exc
+        try:
             sock = self._sock
             assert sock is not None
             frame = encode_frame(request)
@@ -350,8 +404,10 @@ class WireClient:
             try:
                 self._connect_locked()
             except OSError as exc:
+                # Dial refused: nothing was sent, a retry is not a resend.
                 raise ConnectionLost(
-                    f"{op} to {self.host}:{self.port} failed: {exc}") from exc
+                    f"{op} to {self.host}:{self.port} failed: {exc}",
+                    request_sent=False) from exc
             sock = self._sock
             assert sock is not None
             rid = next(self._rids)
@@ -366,7 +422,7 @@ class WireClient:
             except OSError as exc:
                 with self._pending_lock:
                     self._pending.pop(rid, None)
-                self.close()
+                self._close_locked()
                 raise ConnectionLost(
                     f"{op} to {self.host}:{self.port} failed: {exc}") from exc
             self.frames_sent += 1
@@ -374,10 +430,14 @@ class WireClient:
             if on_send is not None:
                 on_send()
         if not pending.event.wait(self.timeout):
+            # Scoped blast radius: abandon only this call's rid (a late
+            # response frame is dropped by the reader's unknown-rid handling)
+            # and leave the connection — and every other in-flight call on
+            # it — alone.  A dead-vs-slow peer sorts itself out on retry:
+            # the resend's sendall fails and closes the connection for real.
             with self._pending_lock:
                 self._pending.pop(rid, None)
-            self.close()
-            raise ConnectionLost(
+            raise CallTimedOut(
                 f"{op} to {self.host}:{self.port} timed out after {self.timeout}s")
         if pending.error is not None:
             raise pending.error
@@ -400,16 +460,39 @@ class WireClient:
         while True:
             try:
                 return self.call(op, _on_send=_on_send, **fields)
-            except ConnectionLost:
+            except RemoteCallError as exc:
+                if exc.error_type != "NotPromoted":
+                    raise
+                # A standby answered but is not serving yet.  The request was
+                # refused without effect — wait for promotion and try again
+                # (not a resend: refusal is a definitive non-delivery).
                 attempt += 1
-                self.close()
-                # The next call() re-dials from scratch.  The request is
-                # *resent* — it may already have reached the peer before the
-                # connection died — so count it apart from clean reconnects;
-                # consumers (e.g. the remote WAL device) use the resend count
-                # to tell a first delivery from a possible duplicate.
-                self.reconnects += 1
-                self.resends += 1
+                if deadline_s is not None and time.monotonic() - start > deadline_s:
+                    raise ConnectionLost(
+                        f"{op} to {self.host}:{self.port}: standby never promoted"
+                    ) from exc
+                delay = min(retry_interval_s * min(attempt, 5), 1.0)
+                time.sleep(delay * (0.5 + 0.5 * random.random()))
+            except ConnectionLost as exc:
+                attempt += 1
+                if not isinstance(exc, CallTimedOut):
+                    # The next call() re-dials from scratch.  A timed-out
+                    # pipelined call skips this: its connection is still
+                    # carrying other in-flight calls (see CallTimedOut).
+                    self.close()
+                    self.reconnects += 1
+                if exc.request_sent:
+                    # The request may already have reached the peer before
+                    # the connection died, so the retry is a *resend*.  Dial
+                    # refusals never sent anything — counting them here would
+                    # inflate the maybe-duplicate accounting consumers like
+                    # the remote WAL device build on.
+                    self.resends += 1
+                elif len(self._addresses) > 1:
+                    # Dial refused: this peer is gone, not slow.  Rotate to
+                    # the next known address (a standby scheduler) so the
+                    # retry dials whoever is supposed to take over.
+                    self._rotate_address()
                 if deadline_s is not None and time.monotonic() - start > deadline_s:
                     raise
                 # Jittered backoff: many clients losing the same peer (a
@@ -418,6 +501,13 @@ class WireClient:
                 # every retry tick.
                 delay = min(retry_interval_s * min(attempt, 5), 1.0)
                 time.sleep(delay * (0.5 + 0.5 * random.random()))
+
+    def _rotate_address(self) -> None:
+        with self._send_lock:
+            if self._sock is not None:
+                return  # a concurrent caller already reconnected somewhere
+            self._address_index = (self._address_index + 1) % len(self._addresses)
+            self.host, self.port = self._addresses[self._address_index]
 
     # -- observability --------------------------------------------------------
 

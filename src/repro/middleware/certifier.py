@@ -167,10 +167,13 @@ class CertifierService:
 
     def fetch_remote_writesets(self, replica_version: int,
                                check_back_to: int | None = None,
-                               *, replica: str | None = None) -> list[RemoteWriteSetInfo]:
+                               *, replica: str | None = None,
+                               up_to: int | None = None,
+                               exclude_version: int | None = None) -> list[RemoteWriteSetInfo]:
         """Serve a bounded-staleness refresh request (no certification)."""
         return self.core.fetch_remote_writesets(replica_version, check_back_to,
-                                                replica=replica)
+                                                replica=replica, up_to=up_to,
+                                                exclude_version=exclude_version)
 
     def extend_remote_horizons(self, infos: list[RemoteWriteSetInfo],
                                back_to: int) -> list[RemoteWriteSetInfo]:

@@ -54,10 +54,10 @@ def make_workload():
     return workload_by_name("allupdates", num_replicas=2)
 
 
-def functional_oracle():
+def functional_oracle(config: ReplicationConfig = CONFIG):
     """Fault-free oracle: the same TRANSACTIONS sequence, no crashes."""
     workload = make_workload()
-    system = build_replicated_system(CONFIG)
+    system = build_replicated_system(config)
     system.create_tables_from_schemas(workload.schemas())
     system.load_initial_data(workload.setup)
     sessions = system.sessions_round_robin(len(system.replicas))
@@ -77,7 +77,7 @@ def functional_oracle():
 def assert_matches_oracle(cluster: LiveCluster) -> None:
     """Final counters on every live replica == the fault-free oracle's."""
     cluster.refresh_all()
-    oracle = functional_oracle()
+    oracle = functional_oracle(cluster.config)
     for name in cluster.replicas:
         assert cluster.dump_table(name, "counters") == oracle[name], (
             f"replica {name} diverged from the fault-free oracle"
@@ -102,9 +102,10 @@ def run_sequence(cluster, workload, sessions, rng, sequences):
                                         client_index=index, sequence=sequence)
 
 
-def boot(tmp_path, **cluster_kwargs) -> tuple[LiveCluster, object, list, RandomStreams]:
+def boot(tmp_path, config: ReplicationConfig = CONFIG,
+         **cluster_kwargs) -> tuple[LiveCluster, object, list, RandomStreams]:
     workload = make_workload()
-    cluster = LiveCluster(CONFIG, workload.schemas(), run_dir=tmp_path,
+    cluster = LiveCluster(config, workload.schemas(), run_dir=tmp_path,
                           keep_dir=True, **cluster_kwargs)
     cluster.__enter__()
     cluster.load_initial_data(workload)
@@ -308,6 +309,173 @@ def test_shard_sigkill_mid_batch_both_grouped_commits_resolve(tmp_path):
         assert_exactly_once(cluster, admits=3)  # loader + the two commits
 
         # Both increments took effect exactly once (initial value is 0).
+        cluster.refresh_all()
+        probe = cluster.session("replica-0", attempt_timeout_s=CLIENT_TIMEOUT_S)
+        probe.begin()
+        for index, key in ((0, "r0-c0-0"), (1, "r1-c1-1")):
+            row = probe.read("counters", key)
+            assert row is not None and int(row["value"]) == 1, (key, row)
+            assert row["note"] == f"seq-{index}"
+        probe.abort()
+        probe.close()
+    finally:
+        cluster.__exit__(None, None, None)
+
+
+# ---------------------------------------------------------------------------
+# scheduler failover (primary/standby pair, PR 10)
+# ---------------------------------------------------------------------------
+
+#: Same logical cluster as CONFIG plus the standby scheduler: shard WAL
+#: payloads become full round entries a promoted standby rebuilds from.
+FAILOVER_CONFIG = ReplicationConfig(system=SystemKind.TASHKENT_MW,
+                                    num_replicas=2, certifier_shards=1,
+                                    rng_seed=SEED,
+                                    live_scheduler_standby=True)
+
+
+def test_scheduler_sigkill_after_durable_round_standby_answers_retry(tmp_path):
+    """Kill -9 the primary scheduler right AFTER a certification round's
+    durable flush (admitted + on the shard WAL, ack never sent).  The
+    promoted standby rebuilds decisions, versions and the exactly-once
+    table from the shard WAL entries; the client's in-doubt commit resolves
+    committed on the standby and is never re-executed."""
+    # Rounds: loader=1, txns 0..2 = 3 → txn 3 is round 5; it flushes
+    # durably, then the scheduler freezes before any ack leaves.
+    cluster, workload, sessions, rng = boot(
+        tmp_path, config=FAILOVER_CONFIG,
+        scheduler_args=["--wedge-after-certify-round", "5"])
+    try:
+        status = cluster.standby_status()
+        assert status["standby"] and not status["promoted"], status
+        assert status["seeded"], "standby should warm-boot from the primary"
+
+        run_sequence(cluster, workload, sessions, rng, range(3))
+        with pytest.raises(CommitInDoubt) as caught:
+            workload.run_transaction(sessions[1], rng,
+                                     client_index=1, sequence=3)
+        cluster.kill_scheduler()
+
+        report = cluster.promote_standby()
+        assert report["already"] is False
+        # loader + txns 0..3 were all durable when the primary died.
+        assert report["tx_table_rebuilt"] == 5, report
+        assert report["system_version"] == 5, report
+
+        # The in-doubt commit resolves from the standby's REBUILT table —
+        # the surviving replica's certify retry is answered as a duplicate,
+        # never re-admitted.
+        outcome = sessions[1].resolve_commit(caught.value.tx_id,
+                                             wait_known_s=20.0)
+        assert outcome is not None and outcome.committed
+        sessions[1].reconnect()
+
+        run_sequence(cluster, workload, sessions, rng, range(4, TRANSACTIONS))
+        assert_matches_oracle(cluster)
+        assert_exactly_once(cluster, admits=TRANSACTIONS + 1)
+    finally:
+        cluster.__exit__(None, None, None)
+
+
+def test_scheduler_sigkill_before_round_retry_completes_on_standby(tmp_path):
+    """Kill -9 the primary BEFORE the round is admitted (nothing durable,
+    nothing recorded).  The surviving replica's pipelined certify retry
+    rides its fallback address to the promoted standby and is admitted
+    there as a FRESH transaction — exactly once, with no lost commit."""
+    cluster, workload, sessions, rng = boot(
+        tmp_path, config=FAILOVER_CONFIG,
+        scheduler_args=["--wedge-before-certify-round", "5"])
+    try:
+        run_sequence(cluster, workload, sessions, rng, range(3))
+        with pytest.raises(CommitInDoubt) as caught:
+            workload.run_transaction(sessions[1], rng,
+                                     client_index=1, sequence=3)
+        cluster.kill_scheduler()
+
+        report = cluster.promote_standby()
+        # Only loader + txns 0..2 ever reached the shard WAL.
+        assert report["tx_table_rebuilt"] == 4, report
+        assert report["system_version"] == 4, report
+
+        # The executing replica is alive and still retrying txn 3's
+        # certification; once the standby is promoted the retry is admitted
+        # fresh and the status query turns definite — wait it out.
+        outcome = sessions[1].resolve_commit(caught.value.tx_id,
+                                             wait_known_s=20.0)
+        assert outcome is not None and outcome.committed
+        sessions[1].reconnect()
+
+        run_sequence(cluster, workload, sessions, rng, range(4, TRANSACTIONS))
+        stats = cluster.scheduler_stats()
+        assert stats["promotions"] == 1
+        assert_matches_oracle(cluster)
+        assert_exactly_once(cluster, admits=TRANSACTIONS + 1)
+    finally:
+        cluster.__exit__(None, None, None)
+
+
+def test_scheduler_sigkill_mid_grouped_round_both_commits_survive(tmp_path):
+    """Two concurrent commits share ONE certification round; the primary is
+    killed after that round's durable flush.  Both transactions must
+    resolve committed on the promoted standby from the rebuilt table —
+    group certification does not weaken exactly-once across failover."""
+    import threading
+
+    config = ReplicationConfig(system=SystemKind.TASHKENT_MW, num_replicas=2,
+                               certifier_shards=1, rng_seed=SEED,
+                               live_scheduler_standby=True,
+                               live_certify_batch_window_ms=150.0)
+    workload = make_workload()
+    # Rounds: loader=1 → the grouped round is 2; durable, then frozen.
+    cluster = LiveCluster(config, workload.schemas(), run_dir=tmp_path,
+                          keep_dir=True,
+                          scheduler_args=["--wedge-after-certify-round", "2"])
+    cluster.__enter__()
+    try:
+        cluster.load_initial_data(workload)
+        sessions = [cluster.session(name, attempt_timeout_s=CLIENT_TIMEOUT_S)
+                    for name in cluster.replicas]
+        rng = RandomStreams(SEED)
+
+        caught: list[CommitInDoubt | None] = [None, None]
+        barrier = threading.Barrier(2)
+
+        def commit_one(index: int) -> None:
+            barrier.wait()
+            try:
+                workload.run_transaction(sessions[index], rng,
+                                         client_index=index, sequence=index)
+            except CommitInDoubt as exc:
+                caught[index] = exc
+
+        threads = [threading.Thread(target=commit_one, args=(index,))
+                   for index in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(caught), f"both commits must wedge in doubt, got {caught}"
+
+        cluster.kill_scheduler()
+        report = cluster.promote_standby()
+        # loader + both grouped commits were durable as full WAL entries.
+        assert report["tx_table_rebuilt"] == 3, report
+
+        for index in (0, 1):
+            outcome = sessions[index].resolve_commit(caught[index].tx_id,
+                                                     wait_known_s=20.0)
+            assert outcome is not None and outcome.committed, (index, outcome)
+            sessions[index].reconnect()
+
+        # One grouped batch holds both round entries; seqs stay strictly
+        # increasing across the promotion (the standby's WAL device starts
+        # above the shard's applied last_seq).
+        batches = read_wal_batches(cluster.harness.run_dir / "shard-0.wal")
+        assert any(len(batch["payloads"]) >= 2 for batch in batches), (
+            f"no grouped batch in the WAL: {[len(b['payloads']) for b in batches]}"
+        )
+        assert_exactly_once(cluster, admits=3)  # loader + the two commits
+
         cluster.refresh_all()
         probe = cluster.session("replica-0", attempt_timeout_s=CLIENT_TIMEOUT_S)
         probe.begin()

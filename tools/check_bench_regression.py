@@ -141,6 +141,15 @@ GUARDS: tuple[Guard, ...] = (
     Guard("BENCH_live_sweep.json", "summary",
           ("metric",), "value", "higher", tolerance=0.5,
           only_key=("speedup_batched_vs_serialized_4_clients",)),
+    # Scheduler failover: kill -9 the primary, promote the standby, commit
+    # again.  Wall-clock on subprocess choreography, so the relative guard
+    # is the loosest; the absolute ceiling is the acceptance criterion (a
+    # sub-5s window covers WAL rebuild + device swap + client re-dial even
+    # on a slow runner — regressions that serialize on a retry backoff or
+    # re-read full WALs per shard blow well past it).
+    Guard("BENCH_live_sweep.json", "summary",
+          ("metric",), "value", "lower", tolerance=0.9, absolute=5000.0,
+          only_key=("live_failover_window_ms",)),
     Guard("BENCH_live_sweep.json", "results",
           ("mode", "clients", "shards", "window_ms", "batch_max",
            "fsync_floor_ms"), "certs_per_sec", "higher", tolerance=0.9),
